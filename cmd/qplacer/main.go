@@ -1,0 +1,93 @@
+// Command qplacer places one device topology with one scheme and reports
+// the layout metrics; optionally it renders the layout to SVG and GDS-like
+// text and evaluates a benchmark's program fidelity.
+//
+// Usage:
+//
+//	qplacer -topology falcon -scheme qplacer -lb 0.3 -svg layout.svg \
+//	        -gds layout.gds -bench bv-4 -mappings 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"qplacer"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qplacer: ")
+	var (
+		topo     = flag.String("topology", "falcon", "device topology: grid|falcon|eagle|aspen11|aspenm|xtree")
+		scheme   = flag.String("scheme", "qplacer", "placement scheme: qplacer|classic|human")
+		lb       = flag.Float64("lb", 0.3, "resonator segment size l_b (mm)")
+		seed     = flag.Int64("seed", 1, "engine seed")
+		svgPath  = flag.String("svg", "", "write layout SVG to this path")
+		gdsPath  = flag.String("gds", "", "write GDS-like text to this path")
+		bench    = flag.String("bench", "", "evaluate this Table I benchmark (e.g. bv-4)")
+		mappings = flag.Int("mappings", 50, "number of subset mappings for -bench")
+	)
+	flag.Parse()
+
+	var sch qplacer.Scheme
+	switch *scheme {
+	case "qplacer":
+		sch = qplacer.SchemeQplacer
+	case "classic":
+		sch = qplacer.SchemeClassic
+	case "human":
+		sch = qplacer.SchemeHuman
+	default:
+		log.Fatalf("unknown scheme %q", *scheme)
+	}
+
+	plan, err := qplacer.Plan(qplacer.Options{
+		Topology: *topo, Scheme: sch, LB: *lb, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := plan.Metrics
+	fmt.Printf("topology     %s (%d qubits, %d couplings)\n",
+		plan.Device.Name, plan.Device.NumQubits, plan.Device.NumEdges())
+	fmt.Printf("scheme       %v   cells %d   iters %d   runtime %v\n",
+		sch, plan.NumCells, plan.PlaceIterations, plan.PlaceRuntime.Round(1e6))
+	fmt.Printf("A_mer        %.1f mm²   A_poly %.1f mm²   utilization %.3f\n",
+		m.Amer, m.Apoly, m.Utilization)
+	fmt.Printf("P_h          %.3f %%   violations %d   impacted qubits %d\n",
+		m.Ph, len(m.Violations), len(m.ImpactedQubits))
+
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := plan.WriteSVG(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+	if *gdsPath != "" {
+		f, err := os.Create(*gdsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := plan.WriteGDS(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", *gdsPath)
+	}
+	if *bench != "" {
+		ev, err := qplacer.Evaluate(plan, *bench, *mappings)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fidelity     %s: mean %.4f  min %.4f  max %.4f (%d mappings)\n",
+			ev.Benchmark, ev.MeanFidelity, ev.MinFidelity, ev.MaxFidelity, ev.NumMappings)
+	}
+}

@@ -1,0 +1,38 @@
+// Falcon layout (the Fig. 14 workflow): place IBM's 27-qubit Falcon with
+// Qplacer, then export the layout as SVG and GDS-like text.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"qplacer"
+)
+
+func main() {
+	plan, err := qplacer.Plan(qplacer.Options{Topology: "falcon"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("falcon: %d cells, A_mer %.1f mm², P_h %.3f%%\n",
+		plan.NumCells, plan.Metrics.Amer, plan.Metrics.Ph)
+
+	svg, err := os.Create("falcon_layout.svg")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svg.Close()
+	if err := plan.WriteSVG(svg); err != nil {
+		log.Fatal(err)
+	}
+	gds, err := os.Create("falcon_layout.gds.txt")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer gds.Close()
+	if err := plan.WriteGDS(gds); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote falcon_layout.svg and falcon_layout.gds.txt")
+}

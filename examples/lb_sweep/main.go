@@ -1,0 +1,23 @@
+// Segment-size sweep (the Fig. 15 / Table II workflow): compare resonator
+// partitioning granularities l_b ∈ {0.2, 0.3, 0.4} mm on one topology.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qplacer"
+)
+
+func main() {
+	fmt.Println("lb(mm)  cells  util   Ph(%)   runtime")
+	for _, lb := range []float64{0.2, 0.3, 0.4} {
+		plan, err := qplacer.Plan(qplacer.Options{Topology: "falcon", LB: lb})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%.1f     %4d   %.3f  %.3f  %v\n",
+			lb, plan.NumCells, plan.Metrics.Utilization, plan.Metrics.Ph,
+			plan.PlaceRuntime.Round(1e6))
+	}
+}

@@ -1,0 +1,27 @@
+// Quickstart: place the 5×5 grid device with the frequency-aware engine and
+// print the headline metrics plus one benchmark fidelity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qplacer"
+)
+
+func main() {
+	plan, err := qplacer.Plan(qplacer.Options{Topology: "grid"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("placed %d cells on %s in %v (%d iterations)\n",
+		plan.NumCells, plan.Device.Name, plan.PlaceRuntime.Round(1e6), plan.PlaceIterations)
+	fmt.Printf("area %.1f mm², utilization %.2f, hotspot proportion %.3f%%\n",
+		plan.Metrics.Amer, plan.Metrics.Utilization, plan.Metrics.Ph)
+
+	ev, err := qplacer.Evaluate(plan, "bv-4", 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bv-4 mean fidelity over %d mappings: %.4f\n", ev.NumMappings, ev.MeanFidelity)
+}

@@ -1,0 +1,192 @@
+// Package circuit provides the gate-level IR and the NISQ benchmark
+// generators of Table I: Bernstein–Vazirani (BV), the Quantum Approximate
+// Optimization Algorithm (QAOA), a linear Ising-chain simulation, and the
+// Quantum GAN ansatz (QGAN). The gate set matches fixed-frequency transmon
+// hardware: single-qubit rotations plus the resonator-induced-phase CZ.
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Gate is one operation on logical qubits.
+type Gate struct {
+	Name   string
+	Qubits []int // 1 or 2 logical qubit indices
+}
+
+// TwoQubit reports whether the gate acts on two qubits.
+func (g Gate) TwoQubit() bool { return len(g.Qubits) == 2 }
+
+// Circuit is a sequence of gates over NumQubits logical qubits.
+type Circuit struct {
+	Name      string
+	NumQubits int
+	Gates     []Gate
+}
+
+// Counts returns the single- and two-qubit gate totals.
+func (c *Circuit) Counts() (n1q, n2q int) {
+	for _, g := range c.Gates {
+		if g.TwoQubit() {
+			n2q++
+		} else {
+			n1q++
+		}
+	}
+	return n1q, n2q
+}
+
+// Validate checks qubit indices.
+func (c *Circuit) Validate() error {
+	for i, g := range c.Gates {
+		if len(g.Qubits) < 1 || len(g.Qubits) > 2 {
+			return fmt.Errorf("circuit %s: gate %d has %d operands", c.Name, i, len(g.Qubits))
+		}
+		for _, q := range g.Qubits {
+			if q < 0 || q >= c.NumQubits {
+				return fmt.Errorf("circuit %s: gate %d references qubit %d", c.Name, i, q)
+			}
+		}
+		if g.TwoQubit() && g.Qubits[0] == g.Qubits[1] {
+			return fmt.Errorf("circuit %s: gate %d uses one qubit twice", c.Name, i)
+		}
+	}
+	return nil
+}
+
+func (c *Circuit) h(q int)     { c.Gates = append(c.Gates, Gate{"h", []int{q}}) }
+func (c *Circuit) rx(q int)    { c.Gates = append(c.Gates, Gate{"rx", []int{q}}) }
+func (c *Circuit) ry(q int)    { c.Gates = append(c.Gates, Gate{"ry", []int{q}}) }
+func (c *Circuit) rz(q int)    { c.Gates = append(c.Gates, Gate{"rz", []int{q}}) }
+func (c *Circuit) x(q int)     { c.Gates = append(c.Gates, Gate{"x", []int{q}}) }
+func (c *Circuit) cz(a, b int) { c.Gates = append(c.Gates, Gate{"cz", []int{a, b}}) }
+func (c *Circuit) zz(a, b int) { c.cz(a, b); c.rz(b); c.cz(a, b) } // exp(iθZZ) via 2 CZ
+
+// BV returns the Bernstein–Vazirani circuit on n qubits (n−1 data qubits +
+// one ancilla, secret string 1010…).
+func BV(n int) *Circuit {
+	if n < 2 {
+		panic("circuit: BV needs at least 2 qubits")
+	}
+	c := &Circuit{Name: fmt.Sprintf("bv-%d", n), NumQubits: n}
+	anc := n - 1
+	for q := 0; q < n; q++ {
+		c.h(q)
+	}
+	c.x(anc)
+	c.h(anc)
+	for q := 0; q < n-1; q++ {
+		if q%2 == 0 { // secret bit 1
+			c.cz(q, anc)
+		}
+	}
+	for q := 0; q < n-1; q++ {
+		c.h(q)
+	}
+	return c
+}
+
+// QAOA returns a depth-1 QAOA MaxCut circuit on a random 3-regular-ish
+// graph over n qubits (ring plus seeded chords).
+func QAOA(n int, seed int64) *Circuit {
+	if n < 3 {
+		panic("circuit: QAOA needs at least 3 qubits")
+	}
+	c := &Circuit{Name: fmt.Sprintf("qaoa-%d", n), NumQubits: n}
+	rng := rand.New(rand.NewSource(seed))
+	for q := 0; q < n; q++ {
+		c.h(q)
+	}
+	// Ring edges.
+	for q := 0; q < n; q++ {
+		c.zz(q, (q+1)%n)
+	}
+	// Chords: n/2 extra seeded pairs.
+	for k := 0; k < n/2; k++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		if a != b && (a+1)%n != b && (b+1)%n != a {
+			c.zz(a, b)
+		}
+	}
+	// Mixer.
+	for q := 0; q < n; q++ {
+		c.rx(q)
+	}
+	return c
+}
+
+// Ising returns a Trotterized linear Ising-chain simulation (steps layers
+// of nearest-neighbour ZZ plus transverse-field RX), as in [7].
+func Ising(n, steps int) *Circuit {
+	if n < 2 || steps < 1 {
+		panic("circuit: Ising needs ≥2 qubits and ≥1 step")
+	}
+	c := &Circuit{Name: fmt.Sprintf("ising-%d", n), NumQubits: n}
+	for s := 0; s < steps; s++ {
+		for q := 0; q+1 < n; q++ {
+			c.zz(q, q+1)
+		}
+		for q := 0; q < n; q++ {
+			c.rx(q)
+		}
+	}
+	return c
+}
+
+// QGAN returns the layered hardware-efficient QGAN ansatz of [55]: layers
+// of RY rotations with ring CZ entanglement.
+func QGAN(n, layers int) *Circuit {
+	if n < 2 || layers < 1 {
+		panic("circuit: QGAN needs ≥2 qubits and ≥1 layer")
+	}
+	c := &Circuit{Name: fmt.Sprintf("qgan-%d", n), NumQubits: n}
+	for l := 0; l < layers; l++ {
+		for q := 0; q < n; q++ {
+			c.ry(q)
+		}
+		for q := 0; q+1 < n; q++ {
+			c.cz(q, q+1)
+		}
+		if n > 2 {
+			c.cz(n-1, 0)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.ry(q)
+	}
+	return c
+}
+
+// Benchmark names a Table I workload.
+type Benchmark struct {
+	Name   string
+	Qubits int
+	Build  func() *Circuit
+}
+
+// TableI returns the paper's eight benchmark instances in evaluation order.
+func TableI() []Benchmark {
+	return []Benchmark{
+		{"bv-4", 4, func() *Circuit { return BV(4) }},
+		{"bv-9", 9, func() *Circuit { return BV(9) }},
+		{"bv-16", 16, func() *Circuit { return BV(16) }},
+		{"qaoa-4", 4, func() *Circuit { return QAOA(4, 7) }},
+		{"qaoa-9", 9, func() *Circuit { return QAOA(9, 7) }},
+		{"ising-4", 4, func() *Circuit { return Ising(4, 3) }},
+		{"qgan-4", 4, func() *Circuit { return QGAN(4, 2) }},
+		{"qgan-9", 9, func() *Circuit { return QGAN(9, 2) }},
+	}
+}
+
+// ByName returns the named Table I benchmark.
+func ByName(name string) (Benchmark, error) {
+	for _, b := range TableI() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return Benchmark{}, fmt.Errorf("circuit: unknown benchmark %q", name)
+}

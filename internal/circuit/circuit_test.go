@@ -1,0 +1,97 @@
+package circuit
+
+import "testing"
+
+func TestTableIBenchmarks(t *testing.T) {
+	benches := TableI()
+	if len(benches) != 8 {
+		t.Fatalf("Table I lists 8 benchmarks, got %d", len(benches))
+	}
+	for _, b := range benches {
+		c := b.Build()
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if c.NumQubits != b.Qubits {
+			t.Errorf("%s: %d qubits, want %d", b.Name, c.NumQubits, b.Qubits)
+		}
+		n1, n2 := c.Counts()
+		if n1 == 0 || n2 == 0 {
+			t.Errorf("%s: trivial circuit (%d 1q, %d 2q)", b.Name, n1, n2)
+		}
+	}
+}
+
+func TestBVStructure(t *testing.T) {
+	c := BV(4)
+	// Secret 1010…: bits 0 and 2 set → 2 CZ gates.
+	_, n2 := c.Counts()
+	if n2 != 2 {
+		t.Fatalf("BV-4 two-qubit gates = %d, want 2", n2)
+	}
+}
+
+func TestQAOADeterministicPerSeed(t *testing.T) {
+	a, b := QAOA(9, 7), QAOA(9, 7)
+	if len(a.Gates) != len(b.Gates) {
+		t.Fatal("same seed must give same circuit")
+	}
+	c := QAOA(9, 8)
+	if len(a.Gates) == len(c.Gates) {
+		t.Log("different seeds gave same gate count (possible but unusual)")
+	}
+}
+
+func TestIsingScalesWithSteps(t *testing.T) {
+	_, n2a := Ising(4, 1).Counts()
+	_, n2b := Ising(4, 3).Counts()
+	if n2b != 3*n2a {
+		t.Fatalf("Ising 2q gates: %d steps×1 = %d, 3 steps = %d", n2a, n2a, n2b)
+	}
+}
+
+func TestQGANRingEntanglement(t *testing.T) {
+	_, n2 := QGAN(4, 2).Counts()
+	// 2 layers × (3 chain + 1 ring-closing) = 8.
+	if n2 != 8 {
+		t.Fatalf("QGAN-4 2q gates = %d, want 8", n2)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("bv-9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { BV(1) }, func() { QAOA(2, 0) },
+		func() { Ising(1, 1) }, func() { QGAN(1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestValidateCatchesBadGates(t *testing.T) {
+	c := &Circuit{Name: "bad", NumQubits: 2,
+		Gates: []Gate{{"cz", []int{0, 5}}}}
+	if c.Validate() == nil {
+		t.Fatal("out-of-range qubit must fail")
+	}
+	c2 := &Circuit{Name: "bad2", NumQubits: 2,
+		Gates: []Gate{{"cz", []int{1, 1}}}}
+	if c2.Validate() == nil {
+		t.Fatal("duplicate operand must fail")
+	}
+}

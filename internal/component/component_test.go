@@ -1,0 +1,229 @@
+package component
+
+import (
+	"math"
+	"testing"
+
+	"qplacer/internal/geom"
+	"qplacer/internal/physics"
+	"qplacer/internal/topology"
+)
+
+func uniformFreqs(dev *topology.Device) (q, r []float64) {
+	q = make([]float64, dev.NumQubits)
+	for i := range q {
+		q[i] = 5.0
+	}
+	r = make([]float64, dev.NumEdges())
+	for i := range r {
+		r[i] = 6.5
+	}
+	return q, r
+}
+
+func TestPaddedRectSemantics(t *testing.T) {
+	in := &Instance{W: 0.4, H: 0.4, Pad: 0.4, Pos: geom.Point{X: 1, Y: 1}}
+	pr := in.PaddedRect()
+	if math.Abs(pr.W()-1.2) > 1e-12 || math.Abs(pr.H()-1.2) > 1e-12 {
+		t.Fatalf("padded dims = %v×%v, want 1.2×1.2", pr.W(), pr.H())
+	}
+	// Two abutting padded qubits leave a core gap of d_q + d_q = 0.8 mm.
+	other := &Instance{W: 0.4, H: 0.4, Pad: 0.4, Pos: geom.Point{X: 2.2, Y: 1}}
+	if in.PaddedRect().Overlaps(other.PaddedRect()) {
+		t.Fatal("abutting padded rects must not overlap")
+	}
+	coreGap := other.CoreRect().Lo.X - in.CoreRect().Hi.X
+	if math.Abs(coreGap-0.8) > 1e-12 {
+		t.Fatalf("core gap = %v, want 0.8 (= d_q + d_q)", coreGap)
+	}
+}
+
+func TestSegmentCountMatchesTableII(t *testing.T) {
+	// Table II #cells: qubits + Σ⌈L·w/l_b²⌉. For L ≈ 10–10.8 mm, w = 0.1:
+	// l_b = 0.3 → ~12 segments, l_b = 0.2 → ~26, l_b = 0.4 → ~7.
+	cfg := DefaultConfig()
+	L := physics.ResonatorLengthMM(6.2) // 10.48 mm
+	cfg.SegmentSize = 0.3
+	if n := SegmentCount(L, cfg); n != 12 {
+		t.Errorf("l_b=0.3: %d segments, want 12", n)
+	}
+	cfg.SegmentSize = 0.2
+	if n := SegmentCount(L, cfg); n != 27 {
+		t.Errorf("l_b=0.2: %d segments, want 27", n)
+	}
+	cfg.SegmentSize = 0.4
+	if n := SegmentCount(L, cfg); n != 7 {
+		t.Errorf("l_b=0.4: %d segments, want 7", n)
+	}
+}
+
+func TestBuildFalconCellCount(t *testing.T) {
+	// Falcon at l_b = 0.3 in the paper: 354 cells. With our per-frequency
+	// lengths the count must land in the same neighbourhood.
+	dev := topology.Falcon27()
+	q, r := uniformFreqs(dev)
+	nl, err := Build(dev, q, r, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := nl.NumCells()
+	if cells < 300 || cells > 420 {
+		t.Fatalf("falcon #cells = %d, want ≈354 (paper Table II)", cells)
+	}
+}
+
+func TestBuildNetChains(t *testing.T) {
+	dev := topology.Grid25()
+	q, r := uniformFreqs(dev)
+	nl, err := Build(dev, q, r, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each resonator with k segments contributes k+1 nets.
+	wantNets := 0
+	for _, res := range nl.Resonators {
+		wantNets += len(res.Segments) + 1
+	}
+	if len(nl.Nets) != wantNets {
+		t.Fatalf("nets = %d, want %d", len(nl.Nets), wantNets)
+	}
+	// First resonator chain starts at qubit A and ends at qubit B.
+	res := nl.Resonators[0]
+	first := nl.Nets[0]
+	if first[0] != nl.QubitInst[res.QubitA] || first[1] != res.Segments[0] {
+		t.Fatalf("first net %v does not start the chain", first)
+	}
+	last := nl.Nets[len(res.Segments)]
+	if last[0] != res.Segments[len(res.Segments)-1] || last[1] != nl.QubitInst[res.QubitB] {
+		t.Fatalf("net %v does not close the chain", last)
+	}
+}
+
+func TestBuildInstanceMetadata(t *testing.T) {
+	dev := topology.Grid25()
+	q, r := uniformFreqs(dev)
+	r[3] = 6.9
+	nl, err := Build(dev, q, r, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nQ, nS := 0, 0
+	for _, in := range nl.Instances {
+		switch in.Kind {
+		case KindQubit:
+			nQ++
+			if in.Resonator != -1 || in.SegIndex != -1 {
+				t.Fatalf("qubit instance has resonator fields: %+v", in)
+			}
+			if in.FreqGHz != 5.0 {
+				t.Fatalf("qubit freq = %v", in.FreqGHz)
+			}
+		case KindSegment:
+			nS++
+			res := nl.Resonators[in.Resonator]
+			if res.Segments[in.SegIndex] != in.ID {
+				t.Fatalf("segment chain index mismatch: %+v", in)
+			}
+			if in.FreqGHz != res.FreqGHz {
+				t.Fatalf("segment freq %v != resonator freq %v", in.FreqGHz, res.FreqGHz)
+			}
+		}
+	}
+	if nQ != 25 {
+		t.Fatalf("qubit instances = %d", nQ)
+	}
+	if nS == 0 {
+		t.Fatal("no segments built")
+	}
+	// Higher-frequency resonator is shorter, so it may have fewer segments.
+	if nl.Resonators[3].LengthMM >= nl.Resonators[0].LengthMM {
+		t.Fatal("resonator length must shrink with frequency")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	dev := topology.Grid25()
+	q, r := uniformFreqs(dev)
+	if _, err := Build(dev, q[:3], r, DefaultConfig()); err == nil {
+		t.Error("short qubit frequency vector must fail")
+	}
+	if _, err := Build(dev, q, r[:2], DefaultConfig()); err == nil {
+		t.Error("short resonator frequency vector must fail")
+	}
+	bad := append([]float64(nil), q...)
+	bad[0] = -1
+	if _, err := Build(dev, bad, r, DefaultConfig()); err == nil {
+		t.Error("negative qubit frequency must fail")
+	}
+	cfg := DefaultConfig()
+	cfg.SegmentSize = 0
+	if _, err := Build(dev, q, r, cfg); err == nil {
+		t.Error("invalid config must fail")
+	}
+}
+
+func TestPositionsRoundTrip(t *testing.T) {
+	dev := topology.Grid25()
+	q, r := uniformFreqs(dev)
+	nl, err := Build(dev, q, r, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	xy := nl.Positions()
+	for i := range xy {
+		xy[i] = float64(i) * 0.25
+	}
+	nl.SetPositions(xy)
+	got := nl.Positions()
+	for i := range xy {
+		if got[i] != xy[i] {
+			t.Fatalf("roundtrip mismatch at %d", i)
+		}
+	}
+}
+
+func TestSetPositionsLengthCheck(t *testing.T) {
+	dev := topology.Grid25()
+	q, r := uniformFreqs(dev)
+	nl, _ := Build(dev, q, r, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	nl.SetPositions([]float64{1, 2, 3})
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	dev := topology.Grid25()
+	q, r := uniformFreqs(dev)
+	nl, _ := Build(dev, q, r, DefaultConfig())
+	cp := nl.Clone()
+	cp.Instances[0].Pos = geom.Point{X: 99, Y: 99}
+	cp.Resonators[0].Segments[0] = -5
+	if nl.Instances[0].Pos == (geom.Point{X: 99, Y: 99}) {
+		t.Fatal("instance positions shared between clones")
+	}
+	if nl.Resonators[0].Segments[0] == -5 {
+		t.Fatal("segment lists shared between clones")
+	}
+	if cp.NumCells() != nl.NumCells() {
+		t.Fatal("clone size mismatch")
+	}
+}
+
+func TestTotalPaddedArea(t *testing.T) {
+	dev := topology.Grid25()
+	q, r := uniformFreqs(dev)
+	nl, _ := Build(dev, q, r, DefaultConfig())
+	var want float64
+	for _, in := range nl.Instances {
+		want += in.PaddedW() * in.PaddedH()
+	}
+	if got := nl.TotalPaddedArea(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TotalPaddedArea = %v, want %v", got, want)
+	}
+	if len(nl.PaddedRects()) != nl.NumCells() {
+		t.Fatal("PaddedRects length mismatch")
+	}
+}

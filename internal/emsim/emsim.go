@@ -1,0 +1,316 @@
+// Package emsim is the stand-in for the Qiskit Metal electromagnetic
+// extraction the paper uses to obtain parasitic capacitances (Fig. 5b, 6c).
+// It solves the 2-D electrostatic Laplace problem ∇·(ε∇φ) = 0 on a
+// finite-difference grid with successive over-relaxation and extracts the
+// coupling capacitance between two coplanar metal pads on a dielectric
+// substrate via the induced-charge method.
+//
+// It is a quasi-2-D model: the solved cross-section capacitance (per unit
+// depth) is multiplied by an effective pad depth to obtain fF. Because the
+// 2-D field spreads in one fewer dimension than reality, the model
+// overestimates magnitudes (tens of fF near contact vs ~2 fF in 3-D) and
+// decays a factor of 2–3 more slowly. Absolute accuracy is not the goal —
+// the placer consumes the calibrated 3-D closed form in package physics;
+// this extractor independently validates its qualitative shape (monotone,
+// near-exponential decay), as pinned by the package tests.
+package emsim
+
+import (
+	"errors"
+	"math"
+)
+
+// Eps0FFPerMM is the vacuum permittivity in fF/mm (8.854e-12 F/m).
+const Eps0FFPerMM = 8.854
+
+// Config describes a two-pad coplanar extraction problem. All lengths in mm.
+type Config struct {
+	PadWidth   float64 // metal pad width (e.g. 0.4 for a transmon pocket)
+	Separation float64 // edge-to-edge pad separation
+	PadDepth   float64 // out-of-plane depth used to convert to fF
+	EpsSub     float64 // substrate relative permittivity (silicon ≈ 11.7)
+
+	DomainW float64 // total domain width; 0 → auto
+	DomainH float64 // total domain height; 0 → auto
+	Cell    float64 // grid cell size; 0 → auto
+	MaxIter int     // SOR iteration cap; 0 → auto
+	Tol     float64 // convergence tolerance on max update; 0 → auto
+}
+
+func (c *Config) fillDefaults() error {
+	if c.PadWidth <= 0 || c.Separation < 0 {
+		return errors.New("emsim: pad width must be positive and separation non-negative")
+	}
+	if c.PadDepth <= 0 {
+		c.PadDepth = c.PadWidth
+	}
+	if c.EpsSub <= 0 {
+		c.EpsSub = 11.7
+	}
+	if c.DomainW <= 0 {
+		c.DomainW = 4*c.PadWidth + 2*c.Separation + 4
+	}
+	if c.DomainH <= 0 {
+		c.DomainH = 4
+	}
+	if c.Cell <= 0 {
+		c.Cell = math.Min(c.PadWidth/8, 0.05)
+		if c.Separation > 0 && c.Separation/4 < c.Cell {
+			c.Cell = math.Max(c.Separation/4, 0.01)
+		}
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 20000
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-7
+	}
+	return nil
+}
+
+// Result holds the extraction output.
+type Result struct {
+	CapFF      float64 // coupling capacitance in fF
+	Iterations int     // SOR iterations used
+	Residual   float64 // final max update
+}
+
+// ExtractCp solves the two-pad problem and returns the coupling capacitance.
+func ExtractCp(cfg Config) (Result, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return Result{}, err
+	}
+	h := cfg.Cell
+	nx := int(math.Round(cfg.DomainW/h)) + 1
+	ny := int(math.Round(cfg.DomainH/h)) + 1
+
+	// Node classification. The substrate occupies the lower half; the pads
+	// sit on the surface row, symmetric about the domain centre.
+	surface := ny / 2
+	idx := func(x, y int) int { return y*nx + x }
+
+	phi := make([]float64, nx*ny)
+	fixed := make([]int8, nx*ny) // 0 free, +1 pad1, -1 pad2, 2 boundary
+
+	// Mutual-capacitance excitation: pad 1 at 1 V, pad 2 grounded. The
+	// charge induced on the grounded pad 2 is then exactly −Cm·V, free of
+	// any pad-to-ground-boundary contribution.
+	centerX := cfg.DomainW / 2
+	p1lo := centerX - cfg.Separation/2 - cfg.PadWidth
+	p1hi := centerX - cfg.Separation/2
+	p2lo := centerX + cfg.Separation/2
+	p2hi := centerX + cfg.Separation/2 + cfg.PadWidth
+
+	for x := 0; x < nx; x++ {
+		xx := float64(x) * h
+		switch {
+		case xx >= p1lo-1e-9 && xx <= p1hi+1e-9:
+			fixed[idx(x, surface)] = 1
+			phi[idx(x, surface)] = 1
+		case xx >= p2lo-1e-9 && xx <= p2hi+1e-9:
+			fixed[idx(x, surface)] = -1
+			phi[idx(x, surface)] = 0
+		}
+	}
+	for x := 0; x < nx; x++ {
+		fixed[idx(x, 0)] = 2
+		fixed[idx(x, ny-1)] = 2
+	}
+	for y := 0; y < ny; y++ {
+		fixed[idx(0, y)] = 2
+		fixed[idx(nx-1, y)] = 2
+	}
+
+	// Cell permittivity: substrate below the surface, vacuum above. Node
+	// (x, y) uses face permittivities averaged from adjacent half-cells.
+	epsAt := func(y int) float64 {
+		if y < surface {
+			return cfg.EpsSub
+		}
+		if y == surface {
+			return (cfg.EpsSub + 1) / 2
+		}
+		return 1
+	}
+
+	omega := 2 / (1 + math.Pi/float64(nx)) // near-optimal SOR factor
+	var resid float64
+	iters := 0
+	for ; iters < cfg.MaxIter; iters++ {
+		resid = 0
+		for y := 1; y < ny-1; y++ {
+			eN := (epsAt(y) + epsAt(y+1)) / 2
+			eS := (epsAt(y) + epsAt(y-1)) / 2
+			eEW := epsAt(y)
+			den := eN + eS + 2*eEW
+			row := y * nx
+			for x := 1; x < nx-1; x++ {
+				i := row + x
+				if fixed[i] != 0 {
+					continue
+				}
+				next := (eEW*(phi[i-1]+phi[i+1]) + eS*phi[i-nx] + eN*phi[i+nx]) / den
+				d := next - phi[i]
+				phi[i] += omega * d
+				if ad := math.Abs(d); ad > resid {
+					resid = ad
+				}
+			}
+		}
+		if resid < cfg.Tol {
+			break
+		}
+	}
+
+	// Induced charge on the grounded pad 2:
+	// Q2 = Σ_faces ε · (φ_pad − φ_neighbour) = −Σ ε·φ_neighbour
+	// (per unit depth; the h factors of flux·length cancel). Mutual
+	// capacitance Cm = −Q2 / V with V = 1.
+	var q float64
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			i := idx(x, y)
+			if fixed[i] != -1 {
+				continue
+			}
+			for _, nb := range [][3]int{
+				{x - 1, y, 0}, {x + 1, y, 0}, {x, y - 1, -1}, {x, y + 1, +1},
+			} {
+				xn, yn := nb[0], nb[1]
+				if xn < 0 || xn >= nx || yn < 0 || yn >= ny {
+					continue
+				}
+				j := idx(xn, yn)
+				if fixed[j] == -1 {
+					continue // internal pad face
+				}
+				var eFace float64
+				if nb[2] == 0 {
+					eFace = epsAt(y)
+				} else {
+					eFace = (epsAt(y) + epsAt(y+nb[2])) / 2
+				}
+				q += eFace * (phi[i] - phi[j])
+			}
+		}
+	}
+	cap2D := -q * Eps0FFPerMM // fF per mm of depth; Cm = −Q2/V
+	return Result{
+		CapFF:      cap2D * cfg.PadDepth,
+		Iterations: iters,
+		Residual:   resid,
+	}, nil
+}
+
+// SweepSeparation extracts Cp for each separation (mm) with shared settings.
+func SweepSeparation(base Config, seps []float64) ([]float64, error) {
+	out := make([]float64, len(seps))
+	for i, d := range seps {
+		cfg := base
+		cfg.Separation = d
+		r, err := ExtractCp(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r.CapFF
+	}
+	return out, nil
+}
+
+// FitExponential fits C(d) ≈ c0·exp(−d/decay) to the sweep by linear least
+// squares on log C. It returns c0 (fF) and decay (mm).
+func FitExponential(seps, caps []float64) (c0, decay float64, err error) {
+	if len(seps) != len(caps) || len(seps) < 2 {
+		return 0, 0, errors.New("emsim: need at least two matching samples")
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(seps))
+	for i := range seps {
+		if caps[i] <= 0 {
+			return 0, 0, errors.New("emsim: non-positive capacitance sample")
+		}
+		x, y := seps[i], math.Log(caps[i])
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, errors.New("emsim: degenerate sweep")
+	}
+	slope := (n*sxy - sx*sy) / den
+	inter := (sy - slope*sx) / n
+	if slope >= 0 {
+		return 0, 0, errors.New("emsim: capacitance does not decay")
+	}
+	return math.Exp(inter), -1 / slope, nil
+}
+
+// ParallelPlates solves the textbook geometry of two facing vertical plates
+// (length plateLen, gap, in a dielectric of permittivity eps) and returns
+// the capacitance per unit depth in fF/mm. Used to validate the solver
+// against C = ε0·ε·L/d.
+func ParallelPlates(plateLen, gap, eps, cell float64) (float64, error) {
+	if plateLen <= 0 || gap <= 0 || eps <= 0 || cell <= 0 {
+		return 0, errors.New("emsim: invalid plate geometry")
+	}
+	w := gap + 6*plateLen
+	hgt := 3 * plateLen
+	nx := int(math.Round(w/cell)) + 1
+	ny := int(math.Round(hgt/cell)) + 1
+	idx := func(x, y int) int { return y*nx + x }
+	phi := make([]float64, nx*ny)
+	fixed := make([]int8, nx*ny)
+
+	x1 := int(math.Round((w/2 - gap/2) / cell))
+	x2 := int(math.Round((w/2 + gap/2) / cell))
+	yLo := int(math.Round((hgt/2 - plateLen/2) / cell))
+	yHi := int(math.Round((hgt/2 + plateLen/2) / cell))
+	for y := yLo; y <= yHi; y++ {
+		fixed[idx(x1, y)] = 1
+		phi[idx(x1, y)] = 0.5
+		fixed[idx(x2, y)] = -1
+		phi[idx(x2, y)] = -0.5
+	}
+	for x := 0; x < nx; x++ {
+		fixed[idx(x, 0)], fixed[idx(x, ny-1)] = 2, 2
+	}
+	for y := 0; y < ny; y++ {
+		fixed[idx(0, y)], fixed[idx(nx-1, y)] = 2, 2
+	}
+
+	omega := 2 / (1 + math.Pi/float64(nx))
+	for it := 0; it < 30000; it++ {
+		var resid float64
+		for y := 1; y < ny-1; y++ {
+			row := y * nx
+			for x := 1; x < nx-1; x++ {
+				i := row + x
+				if fixed[i] != 0 {
+					continue
+				}
+				next := (phi[i-1] + phi[i+1] + phi[i-nx] + phi[i+nx]) / 4
+				d := next - phi[i]
+				phi[i] += omega * d
+				if ad := math.Abs(d); ad > resid {
+					resid = ad
+				}
+			}
+		}
+		if resid < 1e-8 {
+			break
+		}
+	}
+	var q float64
+	for y := yLo; y <= yHi; y++ {
+		i := idx(x1, y)
+		for _, j := range []int{i - 1, i + 1, i - nx, i + nx} {
+			if fixed[j] == 1 {
+				continue
+			}
+			q += phi[i] - phi[j]
+		}
+	}
+	return q * eps * Eps0FFPerMM, nil
+}

@@ -1,0 +1,276 @@
+// Package fft implements the fast trigonometric transforms used by the
+// electrostatic density model: an iterative radix-2 complex FFT and, built on
+// it, the DCT-II / DCT-III / mixed sine transforms that diagonalize the
+// Poisson operator with Neumann (cosine-basis) boundary conditions, exactly
+// as in the ePlace density formulation the paper builds on.
+//
+// All lengths must be powers of two. The package is stdlib-only and
+// allocation-conscious: a Plan caches twiddle factors and scratch space for
+// repeated transforms of one size.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= n (n must be positive).
+func NextPow2(n int) int {
+	if n <= 0 {
+		panic("fft: NextPow2 requires positive n")
+	}
+	if IsPow2(n) {
+		return n
+	}
+	return 1 << bits.Len(uint(n))
+}
+
+// Plan holds precomputed state for transforms of a fixed length n
+// (power of two). A Plan is not safe for concurrent use.
+type Plan struct {
+	n       int          // real-domain transform length
+	m       int          // complex FFT length = 2n
+	twiddle []complex128 // e^{-2πi k/m}, k = 0..m/2-1
+	rev     []int        // bit-reversal permutation for length m
+	buf     []complex128 // scratch of length m
+	phase   []complex128 // e^{-iπ k/(2n)}, k = 0..n-1 (DCT-II post-twist)
+	phaseI  []complex128 // e^{+iπ k/(2n)}, k = 0..n-1 (DCT-III pre-twist)
+}
+
+// NewPlan returns a Plan for real transforms of length n (power of two).
+func NewPlan(n int) *Plan {
+	if !IsPow2(n) {
+		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
+	}
+	m := 2 * n
+	p := &Plan{
+		n:       n,
+		m:       m,
+		twiddle: make([]complex128, m/2),
+		rev:     make([]int, m),
+		buf:     make([]complex128, m),
+		phase:   make([]complex128, n),
+		phaseI:  make([]complex128, n),
+	}
+	for k := range p.twiddle {
+		p.twiddle[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(m)))
+	}
+	shift := bits.LeadingZeros(uint(m)) + 1
+	for i := range p.rev {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> shift)
+	}
+	for k := 0; k < n; k++ {
+		ang := math.Pi * float64(k) / float64(m)
+		p.phase[k] = cmplx.Exp(complex(0, -ang))
+		p.phaseI[k] = cmplx.Exp(complex(0, ang))
+	}
+	return p
+}
+
+// N returns the real-domain transform length of the plan.
+func (p *Plan) N() int { return p.n }
+
+// fft performs an in-place forward DFT of length p.m on a
+// (convention: X_k = Σ_n x_n e^{-2πi nk/m}).
+func (p *Plan) fft(a []complex128) {
+	m := p.m
+	for i, j := range p.rev {
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for size := 2; size <= m; size <<= 1 {
+		half := size >> 1
+		step := m / size
+		for start := 0; start < m; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddle[k*step]
+				u := a[start+k]
+				v := a[start+k+half] * w
+				a[start+k] = u + v
+				a[start+k+half] = u - v
+			}
+		}
+	}
+}
+
+// FFT computes the forward DFT of a (length must be 2n for this plan).
+func (p *Plan) FFT(a []complex128) {
+	if len(a) != p.m {
+		panic(fmt.Sprintf("fft: FFT length %d, plan expects %d", len(a), p.m))
+	}
+	p.fft(a)
+}
+
+// IFFT computes the inverse DFT of a with 1/m normalization.
+func (p *Plan) IFFT(a []complex128) {
+	if len(a) != p.m {
+		panic(fmt.Sprintf("fft: IFFT length %d, plan expects %d", len(a), p.m))
+	}
+	for i := range a {
+		a[i] = cmplx.Conj(a[i])
+	}
+	p.fft(a)
+	inv := 1 / float64(p.m)
+	for i := range a {
+		a[i] = complex(real(a[i])*inv, -imag(a[i])*inv)
+	}
+}
+
+// DCT2 computes the (unnormalized) DCT-II of src into dst:
+//
+//	dst[k] = Σ_{j=0}^{n-1} src[j] · cos(π k (2j+1) / (2n)).
+//
+// dst and src must have length n and may alias.
+func (p *Plan) DCT2(dst, src []float64) {
+	n := p.n
+	if len(src) != n || len(dst) != n {
+		panic("fft: DCT2 length mismatch")
+	}
+	// Pack src with its mirror into a length-2n complex buffer:
+	// v = [x_0..x_{n-1}, x_{n-1}..x_0]; then
+	// DCT2[k] = Re(e^{-iπk/(2n)} · FFT(v)[k]) / 2.
+	for j := 0; j < n; j++ {
+		x := complex(src[j], 0)
+		p.buf[j] = x
+		p.buf[p.m-1-j] = x
+	}
+	p.fft(p.buf)
+	for k := 0; k < n; k++ {
+		dst[k] = real(p.phase[k]*p.buf[k]) / 2
+	}
+}
+
+// DCT3 computes the (unnormalized) DCT-III of src into dst:
+//
+//	dst[j] = src[0]/2 + Σ_{k=1}^{n-1} src[k] · cos(π k (2j+1) / (2n)).
+//
+// DCT3(DCT2(x)) = (n/2)·x, so the exact inverse of DCT2 is (2/n)·DCT3.
+// dst and src must have length n and may alias.
+func (p *Plan) DCT3(dst, src []float64) {
+	n := p.n
+	if len(src) != n || len(dst) != n {
+		panic("fft: DCT3 length mismatch")
+	}
+	// dst[j] = Re( Σ_{k} u_k e^{+2πi kj/(2n)} ) with u_0 = src[0]/2,
+	// u_k = src[k] e^{+iπk/(2n)}; evaluate via conjugated forward FFT.
+	p.buf[0] = complex(src[0]/2, 0)
+	for k := 1; k < n; k++ {
+		p.buf[k] = p.phaseI[k] * complex(src[k], 0)
+	}
+	for k := n; k < p.m; k++ {
+		p.buf[k] = 0
+	}
+	for i := range p.buf {
+		p.buf[i] = cmplx.Conj(p.buf[i])
+	}
+	p.fft(p.buf)
+	for j := 0; j < n; j++ {
+		dst[j] = real(p.buf[j]) // Re(conj(z)) == Re(z)
+	}
+}
+
+// DST3M computes the mixed sine synthesis used for the electric field:
+//
+//	dst[j] = Σ_{k=1}^{n-1} src[k] · sin(π k (2j+1) / (2n)).
+//
+// src[0] is ignored. dst and src must have length n and may alias.
+func (p *Plan) DST3M(dst, src []float64) {
+	n := p.n
+	if len(src) != n || len(dst) != n {
+		panic("fft: DST3M length mismatch")
+	}
+	p.buf[0] = 0
+	for k := 1; k < n; k++ {
+		p.buf[k] = p.phaseI[k] * complex(src[k], 0)
+	}
+	for k := n; k < p.m; k++ {
+		p.buf[k] = 0
+	}
+	for i := range p.buf {
+		p.buf[i] = cmplx.Conj(p.buf[i])
+	}
+	p.fft(p.buf)
+	for j := 0; j < n; j++ {
+		dst[j] = -imag(p.buf[j]) // Im(z) where buf holds conj of the sum
+	}
+}
+
+// Grid2D is an ny×nx row-major matrix of float64 with plans for separable
+// 2-D trigonometric transforms (rows of length nx, columns of length ny).
+type Grid2D struct {
+	NX, NY int
+	px, py *Plan
+	colIn  []float64
+	colOut []float64
+	rowOut []float64
+}
+
+// NewGrid2D returns a transformer for ny×nx grids (both powers of two).
+func NewGrid2D(nx, ny int) *Grid2D {
+	return &Grid2D{
+		NX:     nx,
+		NY:     ny,
+		px:     NewPlan(nx),
+		py:     NewPlan(ny),
+		colIn:  make([]float64, ny),
+		colOut: make([]float64, ny),
+		rowOut: make([]float64, nx),
+	}
+}
+
+type transform1D func(p *Plan, dst, src []float64)
+
+func dct2T(p *Plan, dst, src []float64)  { p.DCT2(dst, src) }
+func dct3T(p *Plan, dst, src []float64)  { p.DCT3(dst, src) }
+func dst3mT(p *Plan, dst, src []float64) { p.DST3M(dst, src) }
+
+// apply runs rowT over every row and colT over every column of a, in place.
+func (g *Grid2D) apply(a []float64, rowT, colT transform1D) {
+	if len(a) != g.NX*g.NY {
+		panic("fft: Grid2D size mismatch")
+	}
+	for y := 0; y < g.NY; y++ {
+		row := a[y*g.NX : (y+1)*g.NX]
+		rowT(g.px, g.rowOut, row)
+		copy(row, g.rowOut)
+	}
+	for x := 0; x < g.NX; x++ {
+		for y := 0; y < g.NY; y++ {
+			g.colIn[y] = a[y*g.NX+x]
+		}
+		colT(g.py, g.colOut, g.colIn)
+		for y := 0; y < g.NY; y++ {
+			a[y*g.NX+x] = g.colOut[y]
+		}
+	}
+}
+
+// DCT2D applies the 2-D DCT-II (forward analysis) in place.
+func (g *Grid2D) DCT2D(a []float64) { g.apply(a, dct2T, dct2T) }
+
+// IDCT2D applies the exact inverse of DCT2D in place
+// (row/column DCT-III scaled by 4/(nx·ny)).
+func (g *Grid2D) IDCT2D(a []float64) {
+	g.apply(a, dct3T, dct3T)
+	scale := 4 / float64(g.NX*g.NY)
+	for i := range a {
+		a[i] *= scale
+	}
+}
+
+// SynthCosCos synthesizes Σ a_uv cos·cos without normalization
+// (row/column DCT-III); used for the potential ψ.
+func (g *Grid2D) SynthCosCos(a []float64) { g.apply(a, dct3T, dct3T) }
+
+// SynthSinCos synthesizes Σ a_uv sin_x·cos_y (sine along rows/x, cosine
+// along columns/y); used for the x-field Ex.
+func (g *Grid2D) SynthSinCos(a []float64) { g.apply(a, dst3mT, dct3T) }
+
+// SynthCosSin synthesizes Σ a_uv cos_x·sin_y; used for the y-field Ey.
+func (g *Grid2D) SynthCosSin(a []float64) { g.apply(a, dct3T, dst3mT) }

@@ -1,0 +1,124 @@
+package legal
+
+import (
+	"math"
+	"testing"
+
+	"qplacer/internal/component"
+	"qplacer/internal/frequency"
+	"qplacer/internal/geom"
+	"qplacer/internal/physics"
+	"qplacer/internal/place"
+	"qplacer/internal/topology"
+)
+
+func placedNetlist(t *testing.T, devName string, mode place.Mode) (*component.Netlist, geom.Rect) {
+	t.Helper()
+	dev, err := topology.ByName(devName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := frequency.Assign(dev, physics.DetuneThresholdGHz)
+	nl, err := component.Build(dev, a.QubitFreq, a.ResFreq, component.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := frequency.BuildCollisionMap(nl, physics.DetuneThresholdGHz)
+	cfg := place.DefaultConfig()
+	cfg.Mode = mode
+	cfg.MaxIters = 300
+	res, err := place.Place(nl, cm, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl, res.Region
+}
+
+func TestLegalRectPolicy(t *testing.T) {
+	q := &component.Instance{Kind: component.KindQubit, W: 0.4, H: 0.4, Pad: 0.4}
+	if r := LegalRect(q); math.Abs(r.W()-1.2) > 1e-12 {
+		t.Fatalf("qubit legal width = %v, want 1.2", r.W())
+	}
+	s := &component.Instance{Kind: component.KindSegment, W: 0.3, H: 0.3, Pad: 0.1}
+	if r := LegalRect(s); math.Abs(r.W()-0.4) > 1e-12 {
+		t.Fatalf("segment legal width = %v, want 0.4", r.W())
+	}
+}
+
+func TestLegalizeRemovesAllOverlaps(t *testing.T) {
+	for _, devName := range []string{"grid", "falcon"} {
+		nl, region := placedNetlist(t, devName, place.ModeQplacer)
+		res, err := Legalize(nl, region, physics.DetuneThresholdGHz, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ov := OverlapReport(nl); len(ov) != 0 {
+			t.Fatalf("%s: %d residual overlaps after legalization (first %v)",
+				devName, len(ov), ov[0])
+		}
+		if res.QubitDisplacement < 0 || res.SegmentDisplacement < 0 {
+			t.Fatalf("%s: negative displacement", devName)
+		}
+	}
+}
+
+func TestLegalizeIntegratesResonators(t *testing.T) {
+	nl, region := placedNetlist(t, "grid", place.ModeQplacer)
+	res, err := Legalize(nl, region, physics.DetuneThresholdGHz, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The integration stage is best-effort (Algorithm 1 repairs via free
+	// spots and τ-checked swaps); under the frequency guards a congested
+	// layout keeps some stragglers. Demand a majority integrated and
+	// record the rest — EXPERIMENTS.md discusses the deviation.
+	broken := len(res.BrokenResonators)
+	if broken > len(nl.Resonators)/2 {
+		t.Fatalf("%d/%d resonators fragmented", broken, len(nl.Resonators))
+	}
+	t.Logf("integration: %d/%d resonators fragmented after repair",
+		broken, len(nl.Resonators))
+}
+
+func TestLegalizeKeepsQubitsApart(t *testing.T) {
+	nl, region := placedNetlist(t, "falcon", place.ModeClassic)
+	if _, err := Legalize(nl, region, physics.DetuneThresholdGHz, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	// Post-legalization, padded qubit cells are disjoint → core-to-core
+	// distance ≥ 2·d_q = 0.8 mm between any two qubits.
+	for i := 0; i < len(nl.QubitInst); i++ {
+		for j := i + 1; j < len(nl.QubitInst); j++ {
+			a := nl.Instances[nl.QubitInst[i]]
+			b := nl.Instances[nl.QubitInst[j]]
+			if gap := a.CoreRect().Gap(b.CoreRect()); gap < 0.8-1e-9 {
+				t.Fatalf("qubits %d,%d core gap %.3f < 0.8", i, j, gap)
+			}
+		}
+	}
+}
+
+func TestLegalizeValidation(t *testing.T) {
+	nl, region := placedNetlist(t, "grid", place.ModeQplacer)
+	bad := DefaultConfig()
+	bad.Pitch = 0
+	if _, err := Legalize(nl, region, physics.DetuneThresholdGHz, bad); err == nil {
+		t.Fatal("zero pitch must fail")
+	}
+}
+
+func TestLegalizeIsDeterministic(t *testing.T) {
+	nlA, regionA := placedNetlist(t, "grid", place.ModeQplacer)
+	nlB, regionB := placedNetlist(t, "grid", place.ModeQplacer)
+	if _, err := Legalize(nlA, regionA, physics.DetuneThresholdGHz, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Legalize(nlB, regionB, physics.DetuneThresholdGHz, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	for i := range nlA.Instances {
+		if nlA.Instances[i].Pos != nlB.Instances[i].Pos {
+			t.Fatalf("instance %d position differs between identical runs", i)
+		}
+	}
+}

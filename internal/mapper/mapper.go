@@ -1,0 +1,214 @@
+// Package mapper stands in for the Qiskit L3 transpilation the paper uses
+// (§VI-A): it samples connected physical-qubit subsets, maps logical qubits
+// greedily, routes two-qubit gates with shortest-path SWAP insertion, and
+// ASAP-schedules the result into layers. The output — per-qubit gate counts,
+// active components and total duration — is what the fidelity model consumes.
+// Identical mappings are reused across all placement schemes, exactly as the
+// paper's methodology requires.
+package mapper
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qplacer/internal/circuit"
+	"qplacer/internal/physics"
+	"qplacer/internal/topology"
+)
+
+// Mapping is one routed, scheduled execution of a circuit on a device.
+type Mapping struct {
+	Device  *topology.Device
+	Circuit string
+
+	Logical2Phys []int    // final mapping (logical → physical)
+	ActiveQubits []int    // physical qubits used
+	ActiveEdges  [][2]int // device couplings (resonators) used
+
+	N1Q, N2Q, NSwaps int
+	Gates1Q          []int // per physical qubit
+	Gates2Q          []int // per physical qubit
+	EdgeUse          map[[2]int]int
+
+	Depth      int
+	DurationNs float64
+}
+
+// Map routes circ onto the subset of physical qubits (a connected induced
+// subgraph at least circ.NumQubits large). A nil subset uses a random
+// connected subset drawn with rng.
+func Map(circ *circuit.Circuit, dev *topology.Device, subset []int, rng *rand.Rand) (*Mapping, error) {
+	if err := circ.Validate(); err != nil {
+		return nil, err
+	}
+	if circ.NumQubits > dev.NumQubits {
+		return nil, fmt.Errorf("mapper: circuit needs %d qubits, device has %d",
+			circ.NumQubits, dev.NumQubits)
+	}
+	if subset == nil {
+		subset = dev.Graph.RandomConnectedSubset(circ.NumQubits, rng)
+		if subset == nil {
+			return nil, fmt.Errorf("mapper: failed to sample a connected subset of %d qubits",
+				circ.NumQubits)
+		}
+	}
+	if len(subset) < circ.NumQubits {
+		return nil, fmt.Errorf("mapper: subset of %d for a %d-qubit circuit",
+			len(subset), circ.NumQubits)
+	}
+	sub, orig := dev.Graph.InducedSubgraph(subset)
+	if !sub.Connected() {
+		return nil, fmt.Errorf("mapper: subset is not connected")
+	}
+
+	m := &Mapping{
+		Device:  dev,
+		Circuit: circ.Name,
+		Gates1Q: make([]int, dev.NumQubits),
+		Gates2Q: make([]int, dev.NumQubits),
+		EdgeUse: map[[2]int]int{},
+	}
+
+	// Initial mapping: BFS order of the subset, so logically adjacent qubits
+	// land near each other.
+	bfs := sub.BFSFrom(0)
+	l2p := make([]int, circ.NumQubits) // logical → subset-local index
+	for l := 0; l < circ.NumQubits; l++ {
+		l2p[l] = bfs[l]
+	}
+
+	ready := make([]float64, dev.NumQubits) // per-qubit available time (ns)
+	var duration float64
+
+	useEdge := func(a, b int) {
+		pa, pb := orig[a], orig[b]
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		m.EdgeUse[[2]int{pa, pb}]++
+	}
+	do1q := func(local int) {
+		p := orig[local]
+		m.N1Q++
+		m.Gates1Q[p]++
+		ready[p] += physics.Gate1QNs
+		if ready[p] > duration {
+			duration = ready[p]
+		}
+	}
+	do2q := func(la, lb int) {
+		pa, pb := orig[la], orig[lb]
+		m.N2Q++
+		m.Gates2Q[pa]++
+		m.Gates2Q[pb]++
+		start := ready[pa]
+		if ready[pb] > start {
+			start = ready[pb]
+		}
+		end := start + physics.Gate2QNs
+		ready[pa], ready[pb] = end, end
+		if end > duration {
+			duration = end
+		}
+		useEdge(la, lb)
+	}
+
+	for _, g := range circ.Gates {
+		if !g.TwoQubit() {
+			do1q(l2p[g.Qubits[0]])
+			continue
+		}
+		a, b := l2p[g.Qubits[0]], l2p[g.Qubits[1]]
+		if !sub.HasEdge(a, b) {
+			// Route: swap a along the shortest path until adjacent to b.
+			path := sub.ShortestPath(a, b)
+			if path == nil {
+				return nil, fmt.Errorf("mapper: no path between %d and %d", a, b)
+			}
+			for len(path) > 2 {
+				next := path[1]
+				// SWAP = 3 CZ-equivalents on the (a, next) coupling.
+				for k := 0; k < 3; k++ {
+					do2q(path[0], next)
+				}
+				m.NSwaps++
+				// Update the logical mapping: whoever sat on `next` moves
+				// to `a`'s old spot.
+				for l := range l2p {
+					switch l2p[l] {
+					case path[0]:
+						l2p[l] = next
+					case next:
+						l2p[l] = path[0]
+					}
+				}
+				path = path[1:]
+			}
+			a = path[0]
+		}
+		do2q(a, b)
+	}
+
+	m.Logical2Phys = make([]int, circ.NumQubits)
+	for l, local := range l2p {
+		m.Logical2Phys[l] = orig[local]
+	}
+	seen := map[int]bool{}
+	for _, p := range orig {
+		if m.Gates1Q[p] > 0 || m.Gates2Q[p] > 0 {
+			if !seen[p] {
+				seen[p] = true
+				m.ActiveQubits = append(m.ActiveQubits, p)
+			}
+		}
+	}
+	for e := range m.EdgeUse {
+		m.ActiveEdges = append(m.ActiveEdges, e)
+	}
+	sortPairs(m.ActiveEdges)
+	sortInts(m.ActiveQubits)
+	m.DurationNs = duration
+	m.Depth = int(duration / physics.Gate2QNs)
+	if m.Depth < 1 {
+		m.Depth = 1
+	}
+	return m, nil
+}
+
+// Sample draws n mappings with distinct seeded subsets (§VI-A uses 50 to
+// cover all physical qubits); identical subsets across placement schemes
+// come from reusing the same seed.
+func Sample(circ *circuit.Circuit, dev *topology.Device, n int, seed int64) ([]*Mapping, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*Mapping, 0, n)
+	for i := 0; i < n; i++ {
+		m, err := Map(circ, dev, nil, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func sortPairs(a [][2]int) {
+	less := func(x, y [2]int) bool {
+		if x[0] != y[0] {
+			return x[0] < y[0]
+		}
+		return x[1] < y[1]
+	}
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && less(a[j], a[j-1]); j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package mapper
+
+import (
+	"math/rand"
+	"testing"
+
+	"qplacer/internal/circuit"
+	"qplacer/internal/topology"
+)
+
+func TestMapRoutesAllGates(t *testing.T) {
+	dev := topology.Falcon27()
+	for _, bench := range circuit.TableI() {
+		c := bench.Build()
+		m, err := Map(c, dev, nil, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatalf("%s: %v", bench.Name, err)
+		}
+		n1, n2 := c.Counts()
+		if m.N1Q != n1 {
+			t.Errorf("%s: 1q count %d, want %d", bench.Name, m.N1Q, n1)
+		}
+		// Routing adds 3 CZ per SWAP.
+		if m.N2Q != n2+3*m.NSwaps {
+			t.Errorf("%s: 2q count %d, want %d + 3·%d", bench.Name, m.N2Q, n2, m.NSwaps)
+		}
+		if len(m.ActiveQubits) == 0 || len(m.ActiveEdges) == 0 {
+			t.Errorf("%s: no active components", bench.Name)
+		}
+		if m.DurationNs <= 0 || m.Depth < 1 {
+			t.Errorf("%s: degenerate schedule %+v", bench.Name, m)
+		}
+	}
+}
+
+func TestMapUsesOnlyDeviceEdges(t *testing.T) {
+	dev := topology.Grid25()
+	c := circuit.QAOA(9, 3)
+	m, err := Map(c, dev, nil, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range m.EdgeUse {
+		if !dev.Graph.HasEdge(e[0], e[1]) {
+			t.Fatalf("mapping used non-existent edge %v", e)
+		}
+	}
+}
+
+func TestMapRejectsOversizedCircuit(t *testing.T) {
+	dev := topology.Grid25()
+	if _, err := Map(circuit.BV(30), dev, nil, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("30-qubit circuit on 25-qubit device must fail")
+	}
+}
+
+func TestMapExplicitSubset(t *testing.T) {
+	dev := topology.Grid25()
+	subset := []int{0, 1, 2, 5, 6, 7, 10, 11, 12}
+	m, err := Map(circuit.BV(9), dev, subset, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[int]bool{}
+	for _, q := range subset {
+		allowed[q] = true
+	}
+	for _, q := range m.ActiveQubits {
+		if !allowed[q] {
+			t.Fatalf("active qubit %d outside subset", q)
+		}
+	}
+}
+
+func TestMapDisconnectedSubsetFails(t *testing.T) {
+	dev := topology.Grid25()
+	if _, err := Map(circuit.BV(2), dev, []int{0, 24}, nil); err == nil {
+		t.Fatal("disconnected subset must fail")
+	}
+}
+
+func TestSampleSeededReproducible(t *testing.T) {
+	dev := topology.Falcon27()
+	c := circuit.BV(4)
+	a, err := Sample(c, dev, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sample(c, dev, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].N2Q != b[i].N2Q || a[i].DurationNs != b[i].DurationNs {
+			t.Fatal("same seed must reproduce identical mappings")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"qplacer/internal/component"
+	"qplacer/internal/frequency"
+	"qplacer/internal/geom"
+	"qplacer/internal/physics"
+	"qplacer/internal/topology"
+)
+
+func netlist(t *testing.T) *component.Netlist {
+	t.Helper()
+	dev := topology.Grid25()
+	a := frequency.Assign(dev, physics.DetuneThresholdGHz)
+	nl, err := component.Build(dev, a.QubitFreq, a.ResFreq, component.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// spread places all instances far apart so no hotspots exist.
+func spread(nl *component.Netlist) {
+	for i, in := range nl.Instances {
+		in.Pos = geom.Point{X: float64(i%30) * 5, Y: float64(i/30) * 5}
+	}
+}
+
+func TestMeasureNoViolationsWhenSpread(t *testing.T) {
+	nl := netlist(t)
+	spread(nl)
+	rep := Measure(nl, physics.DetuneThresholdGHz)
+	if rep.Ph != 0 || len(rep.Violations) != 0 || len(rep.ImpactedQubits) != 0 {
+		t.Fatalf("spread layout must have no hotspots: %+v", rep)
+	}
+	if rep.Amer <= 0 || rep.Apoly <= 0 || rep.Utilization <= 0 {
+		t.Fatalf("degenerate areas: %+v", rep)
+	}
+}
+
+func TestMeasureDetectsStackedResonantQubits(t *testing.T) {
+	nl := netlist(t)
+	spread(nl)
+	// Find two resonant qubits and stack them.
+	var qa, qb *component.Instance
+	for i := 0; i < len(nl.QubitInst) && qb == nil; i++ {
+		for j := i + 1; j < len(nl.QubitInst); j++ {
+			a := nl.Instances[nl.QubitInst[i]]
+			b := nl.Instances[nl.QubitInst[j]]
+			if frequency.Resonant(a.FreqGHz, b.FreqGHz, 0.1) {
+				qa, qb = a, b
+				break
+			}
+		}
+	}
+	if qb == nil {
+		t.Skip("no resonant qubit pair on this assignment")
+	}
+	qb.Pos = qa.Pos.Add(geom.Point{X: 0.5})
+	rep := Measure(nl, physics.DetuneThresholdGHz)
+	if rep.Ph <= 0 || len(rep.Violations) == 0 {
+		t.Fatal("stacked resonant qubits must register as a hotspot")
+	}
+	if len(rep.ImpactedQubits) != 2 {
+		t.Fatalf("impacted qubits = %v, want the two stacked ones", rep.ImpactedQubits)
+	}
+}
+
+func TestMeasureIgnoresSameResonatorOverlap(t *testing.T) {
+	nl := netlist(t)
+	spread(nl)
+	segs := nl.Resonators[0].Segments
+	base := nl.Instances[segs[0]].Pos
+	for k, sid := range segs {
+		nl.Instances[sid].Pos = base.Add(geom.Point{X: float64(k) * 0.01})
+	}
+	rep := Measure(nl, physics.DetuneThresholdGHz)
+	for _, v := range rep.Violations {
+		a, b := nl.Instances[v.A], nl.Instances[v.B]
+		if a.Kind == component.KindSegment && b.Kind == component.KindSegment &&
+			a.Resonator == b.Resonator {
+			t.Fatal("same-resonator overlap must not count (Eq. 10)")
+		}
+	}
+}
+
+func TestMinResonantDistance(t *testing.T) {
+	nl := netlist(t)
+	spread(nl)
+	d := MinResonantDistance(nl, component.KindQubit, physics.DetuneThresholdGHz)
+	if math.IsInf(d, 1) {
+		t.Skip("no resonant qubit pairs")
+	}
+	if d < 5 {
+		t.Fatalf("spread layout min resonant distance = %v", d)
+	}
+}
+
+func TestEnclosingRect(t *testing.T) {
+	nl := netlist(t)
+	spread(nl)
+	enc, ok := EnclosingRect(nl)
+	if !ok || enc.Area() <= 0 {
+		t.Fatal("degenerate enclosing rect")
+	}
+}

@@ -1,0 +1,694 @@
+// Package place implements the paper's primary contribution: the
+// frequency-aware electrostatic analytical placement engine of §IV-C. It
+// minimizes
+//
+//	f(x, y) = WL(x, y) + λ·D(x, y) + λf·F(x, y)            (Eq. 14)
+//
+// where WL is a smoothed wirelength over the 2-pin net chains, D is the
+// ePlace electrostatic density penalty (instances as positive charges, a
+// spectral Poisson solve produces the spreading field), and F is the
+// frequency repulsive potential acting only on near-resonant collision-map
+// pairs (Eqs. 9–10). Penalty weights escalate every iteration so the engine
+// glides from pure area/wirelength minimization to constraint satisfaction.
+//
+// ModeClassic disables the frequency force (λf = 0), reproducing the
+// crosstalk-oblivious classical baseline of §V-B with identical
+// hyperparameters, exactly as the paper's comparison requires.
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"qplacer/internal/component"
+	"qplacer/internal/fft"
+	"qplacer/internal/frequency"
+	"qplacer/internal/geom"
+	"qplacer/internal/optim"
+	"qplacer/internal/poisson"
+)
+
+// Mode selects the placement scheme.
+type Mode int
+
+const (
+	// ModeQplacer is the full frequency-aware engine.
+	ModeQplacer Mode = iota
+	// ModeClassic is the same engine with the frequency force disabled.
+	ModeClassic
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeQplacer:
+		return "qplacer"
+	case ModeClassic:
+		return "classic"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Config holds engine hyperparameters. The zero value is not valid; use
+// DefaultConfig. Classic and Qplacer runs share every knob except Mode,
+// matching the paper's fair-comparison setup.
+type Config struct {
+	Mode Mode
+
+	// TargetDensity D̂ sizes the placement region:
+	// side = √(Σ charge areas / D̂).
+	TargetDensity float64
+	// MaxIters bounds the Nesterov loop; StopOverflow ends it early once
+	// the density overflow drops below this fraction (after MinIters).
+	MaxIters     int
+	MinIters     int
+	StopOverflow float64
+
+	// LambdaGrowth multiplies the density weight each iteration;
+	// FreqLambdaGrowth does the same for the frequency weight.
+	LambdaGrowth     float64
+	FreqLambdaGrowth float64
+	// FreqWeight scales the initial frequency penalty relative to the
+	// wirelength gradient (0 disables, as in ModeClassic).
+	FreqWeight float64
+	// FreqCutoffMM is the interaction radius of the repulsive force between
+	// qubit pairs: pairs farther apart feel nothing (keeps the potential
+	// local, §IV-C1). Segment pairs use FreqCutoffSegMM — wire blocks are
+	// small (padded ~0.5 mm), need proportionally less separation, and a
+	// large radius over their sheer pair count would jam the optimizer.
+	FreqCutoffMM    float64
+	FreqCutoffSegMM float64
+
+	// Seed drives the deterministic initial-placement jitter.
+	Seed int64
+
+	// Trace, when non-nil, receives per-iteration diagnostics.
+	Trace func(TraceEvent)
+}
+
+// TraceEvent is one iteration's diagnostics for Config.Trace.
+type TraceEvent struct {
+	Iter               int
+	Overflow           float64
+	Lambda, LambdaF    float64
+	StepSize           float64
+	WLGradL1, DGradL1  float64
+	FGradL1            float64
+	HPWLSmooth, Energy float64
+}
+
+// DefaultConfig returns the hyperparameters used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		Mode:             ModeQplacer,
+		TargetDensity:    0.8,
+		MaxIters:         600,
+		MinIters:         250,
+		StopOverflow:     0.08,
+		LambdaGrowth:     1.08,
+		FreqLambdaGrowth: 1.08,
+		FreqWeight:       1.0,
+		FreqCutoffMM:     3.0,
+		FreqCutoffSegMM:  0.7,
+		Seed:             1,
+	}
+}
+
+// Result reports a finished global placement.
+type Result struct {
+	Mode       Mode
+	Region     geom.Rect // placement region used for density
+	Iterations int
+	HPWL       float64 // final half-perimeter wirelength (mm)
+	Overflow   float64 // final density overflow fraction
+	Runtime    time.Duration
+	AvgIterMS  float64
+}
+
+// chargeArea returns the electrostatic charge (area) of an instance. Qubits
+// use their fully padded footprint; resonator segments use a half-padded
+// footprint, reflecting that same-resonator blocks pack contiguously and
+// padding is shared between abutting neighbours (§IV-B2, Fig. 8d).
+func chargeArea(in *component.Instance) (w, h float64) {
+	switch in.Kind {
+	case component.KindQubit:
+		return in.PaddedW(), in.PaddedH()
+	default:
+		return in.W + in.Pad, in.H + in.Pad
+	}
+}
+
+// TotalChargeArea sums the density charge areas of a netlist.
+func TotalChargeArea(nl *component.Netlist) float64 {
+	var a float64
+	for _, in := range nl.Instances {
+		w, h := chargeArea(in)
+		a += w * h
+	}
+	return a
+}
+
+// engine carries per-run state.
+type engine struct {
+	cfg    Config
+	nl     *component.Netlist
+	cm     *frequency.CollisionMap
+	region geom.Rect
+	solver *poisson.Solver
+
+	chargeW, chargeH []float64
+	gamma            float64 // wirelength smoothing
+	freqSmooth       float64 // distance smoothing s of the 1/(d+s) potential
+
+	lambda   float64 // density weight
+	lambdaFQ float64 // frequency weight, qubit pairs
+	lambdaFS float64 // frequency weight, segment pairs
+	wall     float64 // boundary spring weight
+
+	// scratch
+	gradWL, gradD, gradWall, gradC []float64
+	gradFQ, gradFS                 []float64
+	overflow                       float64
+	lambdaC                        float64 // chain-spacing weight
+	chainPairs                     [][2]int
+	chainR0                        float64
+	qubitPairs, segPairs           [][2]int // collision map split by kind
+}
+
+// Place runs global placement on the netlist, mutating instance positions.
+// The collision map may be nil for ModeClassic.
+func Place(nl *component.Netlist, cm *frequency.CollisionMap, cfg Config) (*Result, error) {
+	start := time.Now()
+	if cfg.TargetDensity <= 0 || cfg.TargetDensity > 1.2 {
+		return nil, fmt.Errorf("place: target density %v out of range", cfg.TargetDensity)
+	}
+	if cfg.MaxIters <= 0 {
+		return nil, fmt.Errorf("place: MaxIters must be positive")
+	}
+	if cfg.Mode == ModeQplacer && cm == nil {
+		return nil, fmt.Errorf("place: Qplacer mode requires a collision map")
+	}
+	n := len(nl.Instances)
+	if n == 0 {
+		return nil, fmt.Errorf("place: empty netlist")
+	}
+
+	e := &engine{cfg: cfg, nl: nl, cm: cm}
+	e.setupRegion()
+	e.setupBins()
+	e.initialPositions()
+
+	e.gradWL = make([]float64, 2*n)
+	e.gradD = make([]float64, 2*n)
+	e.gradFQ = make([]float64, 2*n)
+	e.gradFS = make([]float64, 2*n)
+	e.gradWall = make([]float64, 2*n)
+	e.gradC = make([]float64, 2*n)
+	e.setupChainPairs()
+	e.splitCollisionPairs()
+
+	// Penalty control: instead of multiplying λ unboundedly (which lets the
+	// density term outgrow the wirelength term by orders of magnitude and
+	// collapses the stable step size), the engine re-normalizes each weight
+	// every iteration against the live gradient norms,
+	//
+	//	λ = ratio_D · ‖∇WL‖₁ / ‖∇D‖₁,
+	//
+	// and escalates only the dimensionless ratio. This keeps the force
+	// balance explicit: ratio 1 means density pressure equals wirelength
+	// pull; the schedule walks it up to ratioCap.
+	x0 := nl.Positions()
+	e.evalComponents(x0)
+	const (
+		ratioD0    = 1.0
+		ratioF0    = 0.5
+		ratioCap   = 64.0
+		ratioFQCap = 512.0 // qubit pairs: few, so high pressure is cheap
+		ratioFSCap = 48.0  // segment pairs: many, keep stiffness moderate
+	)
+	ratioD, ratioFQ, ratioFS := ratioD0, ratioF0, ratioF0
+	const ratioC = 16.0 // chain anti-stacking pressure
+	// springPeak is the maximum force of the unit-weight polynomial spring
+	// U = (R²−d²)²/R³, attained at d = R/√3: 8/(3√3) · 1/R.
+	const springPeak = 1.5396
+	renorm := func() {
+		wlNorm := l1(e.gradWL) + 1e-12
+		// Typical per-coordinate wirelength gradient: the force scale one
+		// instance actually feels.
+		gBar := wlNorm / float64(len(e.gradWL))
+		if dNorm := l1(e.gradD); dNorm > 0 {
+			e.lambda = ratioD * wlNorm / dNorm
+		}
+		// Pair weights are normalized per pair, not per aggregate: a spring
+		// at weight λ exerts at most λ·springPeak/R, which is pinned to
+		// ratio·ḡ. Feasible pairs separate decisively; infeasible pairs
+		// (e.g. same-level tree siblings tied to one parent) lose boundedly
+		// instead of jamming the whole system with runaway pressure.
+		if cfg.Mode == ModeQplacer && cfg.FreqWeight > 0 {
+			e.lambdaFQ = cfg.FreqWeight * ratioFQ * gBar * e.cfg.FreqCutoffMM / springPeak
+			e.lambdaFS = cfg.FreqWeight * ratioFS * gBar * e.cfg.FreqCutoffSegMM / springPeak
+		}
+		e.lambdaC = ratioC * gBar * e.chainR0 / springPeak
+		e.wall = math.Max(e.lambda, 1)
+	}
+	renorm()
+
+	opt := optim.NewNesterov(x0, e.gradient, e.region.W()/100)
+	opt.MaxStep = e.region.W() / 4 // a step never crosses a quarter-region
+
+	iters := 0
+	bestOverflow := math.Inf(1)
+	sinceImprove := 0
+	for it := 0; it < cfg.MaxIters; it++ {
+		opt.Step()
+		iters++
+		if cfg.Trace != nil {
+			wl, dE, _, _, _ := e.evalComponents(opt.X())
+			cfg.Trace(TraceEvent{
+				Iter:     it,
+				Overflow: e.overflow,
+				Lambda:   e.lambda, LambdaF: math.Max(e.lambdaFQ, e.lambdaFS),
+				StepSize: opt.StepSize(),
+				WLGradL1: l1(e.gradWL), DGradL1: l1(e.gradD),
+				FGradL1:    l1(e.gradFQ) + l1(e.gradFS),
+				HPWLSmooth: wl, Energy: dE,
+			})
+		}
+		// Escalate the force ratios while the density constraint is
+		// violated; renormalize weights against the current gradients. The
+		// optimizer's cached gradient belongs to the old weights, so it is
+		// invalidated after every update.
+		if e.overflow > cfg.StopOverflow {
+			if ratioD < ratioCap {
+				ratioD *= cfg.LambdaGrowth
+			}
+		}
+		// Frequency pressure keeps ramping even after density converges:
+		// spatial isolation is the second phase of the anneal.
+		if ratioFQ < ratioFQCap {
+			ratioFQ *= cfg.FreqLambdaGrowth
+		}
+		if ratioFS < ratioFSCap {
+			ratioFS *= cfg.FreqLambdaGrowth
+		}
+		e.evalComponents(opt.X())
+		renorm()
+		opt.InvalidateGradient()
+
+		if e.overflow < bestOverflow*0.99 {
+			bestOverflow = e.overflow
+			sinceImprove = 0
+		} else {
+			sinceImprove++
+		}
+		if it >= cfg.MinIters &&
+			(e.overflow < cfg.StopOverflow || sinceImprove > 150) {
+			break
+		}
+	}
+
+	final := append([]float64(nil), opt.X()...)
+	e.clampInto(final)
+	nl.SetPositions(final)
+
+	elapsed := time.Since(start)
+	return &Result{
+		Mode:       cfg.Mode,
+		Region:     e.region,
+		Iterations: iters,
+		HPWL:       HPWL(nl),
+		Overflow:   e.overflow,
+		Runtime:    elapsed,
+		AvgIterMS:  float64(elapsed.Milliseconds()) / float64(iters),
+	}, nil
+}
+
+func (e *engine) setupRegion() {
+	area := TotalChargeArea(e.nl) / e.cfg.TargetDensity
+	side := math.Sqrt(area)
+	e.region = geom.NewRect(0, 0, side, side)
+
+	n := len(e.nl.Instances)
+	e.chargeW = make([]float64, n)
+	e.chargeH = make([]float64, n)
+	for i, in := range e.nl.Instances {
+		e.chargeW[i], e.chargeH[i] = chargeArea(in)
+	}
+}
+
+func (e *engine) setupBins() {
+	n := len(e.nl.Instances)
+	bins := fft.NextPow2(int(math.Ceil(math.Sqrt(float64(n)) * 1.6)))
+	if bins < 32 {
+		bins = 32
+	}
+	if bins > 256 {
+		bins = 256
+	}
+	hx := e.region.W() / float64(bins)
+	hy := e.region.H() / float64(bins)
+	e.solver = poisson.NewSolver(bins, bins, hx, hy)
+	e.gamma = 2 * hx
+	e.freqSmooth = 0.25
+}
+
+// initialPositions seeds qubits at their (scaled) canonical coordinates and
+// strings each resonator's segments along the line between its endpoint
+// qubits, with a small seeded jitter to break exact collinearity.
+func (e *engine) initialPositions() {
+	rng := rand.New(rand.NewSource(e.cfg.Seed))
+	dev := e.nl.Device
+
+	// Canonical coordinate bounding box.
+	lo := dev.Coords[0]
+	hi := dev.Coords[0]
+	for _, p := range dev.Coords {
+		lo.X = math.Min(lo.X, p.X)
+		lo.Y = math.Min(lo.Y, p.Y)
+		hi.X = math.Max(hi.X, p.X)
+		hi.Y = math.Max(hi.Y, p.Y)
+	}
+	spanX := math.Max(hi.X-lo.X, 1e-9)
+	spanY := math.Max(hi.Y-lo.Y, 1e-9)
+	// Map into the central 60% of the region.
+	inner := e.region.Inflate(-0.2 * e.region.W())
+	mapPt := func(p geom.Point) geom.Point {
+		return geom.Point{
+			X: inner.Lo.X + (p.X-lo.X)/spanX*inner.W(),
+			Y: inner.Lo.Y + (p.Y-lo.Y)/spanY*inner.H(),
+		}
+	}
+	jitter := func(scale float64) float64 { return (rng.Float64() - 0.5) * scale }
+
+	for q, instID := range e.nl.QubitInst {
+		p := mapPt(dev.Coords[q])
+		e.nl.Instances[instID].Pos = geom.Point{
+			X: p.X + jitter(e.solver.HX),
+			Y: p.Y + jitter(e.solver.HY),
+		}
+	}
+	// Segments start in a band around their edge line: enough initial
+	// entropy that the density field can ribbon each chain instead of
+	// separating perfectly stacked blocks it cannot distinguish.
+	segSpread := 3 * e.solver.HX
+	for _, res := range e.nl.Resonators {
+		pa := e.nl.Instances[e.nl.QubitInst[res.QubitA]].Pos
+		pb := e.nl.Instances[e.nl.QubitInst[res.QubitB]].Pos
+		k := len(res.Segments)
+		for s, sid := range res.Segments {
+			t := float64(s+1) / float64(k+1)
+			e.nl.Instances[sid].Pos = geom.Point{
+				X: pa.X + t*(pb.X-pa.X) + jitter(segSpread),
+				Y: pa.Y + t*(pb.Y-pa.Y) + jitter(segSpread),
+			}
+		}
+	}
+}
+
+// setupChainPairs precomputes the same-resonator segment pairs for the
+// chain-spacing (anti-stacking) force. Eq. 10 exempts these pairs from the
+// frequency force, but the blocks still reserve physically disjoint space —
+// a short-range contact repulsion enforces that during global placement.
+func (e *engine) setupChainPairs() {
+	// Repulsion radius matches the segment's charge box (core + shared
+	// padding), so a settled chain is charge-disjoint and contributes no
+	// density overflow.
+	e.chainR0 = (e.nl.Config.SegmentSize + e.nl.Config.ResonatorPad) * 1.05
+	for _, res := range e.nl.Resonators {
+		segs := res.Segments
+		for i := 0; i < len(segs); i++ {
+			for j := i + 1; j < len(segs); j++ {
+				e.chainPairs = append(e.chainPairs, [2]int{segs[i], segs[j]})
+			}
+		}
+	}
+}
+
+// chainGrad evaluates the same polynomial contact repulsion over stacked
+// same-resonator segment pairs (radius chainR0), keeping reserved wire-block
+// space disjoint during global placement.
+func (e *engine) chainGrad(xy []float64) float64 {
+	for i := range e.gradC {
+		e.gradC[i] = 0
+	}
+	return pairRepulsion(xy, e.chainPairs, e.gradC, e.chainR0)
+}
+
+// evalComponents fills the component gradients for the positions xy and
+// refreshes the density overflow. It returns the penalty values.
+func (e *engine) evalComponents(xy []float64) (wl, dEnergy, fq, fs, cPot float64) {
+	wl = e.wirelengthGrad(xy)
+	dEnergy = e.densityGrad(xy)
+	fq, fs = e.frequencyGrad(xy)
+	cPot = e.chainGrad(xy)
+	e.wallGrad(xy)
+	return wl, dEnergy, fq, fs, cPot
+}
+
+// gradient is the optim.GradFunc: total objective and gradient.
+func (e *engine) gradient(xy []float64, grad []float64) float64 {
+	wl, dEnergy, fq, fs, cPot := e.evalComponents(xy)
+	for i := range grad {
+		grad[i] = e.gradWL[i] + e.lambda*e.gradD[i] +
+			e.lambdaFQ*e.gradFQ[i] + e.lambdaFS*e.gradFS[i] +
+			e.lambdaC*e.gradC[i] + e.wall*e.gradWall[i]
+	}
+	return wl + e.lambda*dEnergy + e.lambdaFQ*fq + e.lambdaFS*fs + e.lambdaC*cPot
+}
+
+// segChainWeight down-weights nets between two segments of the same
+// resonator: the chain must stay connected, but a full-strength pull
+// collapses all wire blocks onto a point that the bin-resolution density
+// field cannot then separate. The reduced weight lets density pressure
+// ribbon the chain out while the anchor nets (qubit↔segment) keep it routed
+// between its endpoints.
+const segChainWeight = 0.25
+
+func (e *engine) netWeight(a, b int) float64 {
+	ia, ib := e.nl.Instances[a], e.nl.Instances[b]
+	if ia.Kind == component.KindSegment && ib.Kind == component.KindSegment &&
+		ia.Resonator == ib.Resonator {
+		return segChainWeight
+	}
+	return 1
+}
+
+// wirelengthGrad computes the smoothed wirelength Σ w·√(Δ²+γ²) per axis
+// over all 2-pin nets and its gradient.
+func (e *engine) wirelengthGrad(xy []float64) float64 {
+	for i := range e.gradWL {
+		e.gradWL[i] = 0
+	}
+	var total float64
+	g2 := e.gamma * e.gamma
+	for _, net := range e.nl.Nets {
+		a, b := net[0], net[1]
+		w := e.netWeight(a, b)
+		dx := xy[2*a] - xy[2*b]
+		dy := xy[2*a+1] - xy[2*b+1]
+		sx := math.Sqrt(dx*dx + g2)
+		sy := math.Sqrt(dy*dy + g2)
+		total += w * (sx + sy - 2*e.gamma)
+		e.gradWL[2*a] += w * dx / sx
+		e.gradWL[2*b] -= w * dx / sx
+		e.gradWL[2*a+1] += w * dy / sy
+		e.gradWL[2*b+1] -= w * dy / sy
+	}
+	return total
+}
+
+// densityGrad rasterizes charges, solves the Poisson problem and sets the
+// density gradient −q·E per instance. Returns the electrostatic energy.
+func (e *engine) densityGrad(xy []float64) float64 {
+	s := e.solver
+	for i := range s.Density {
+		s.Density[i] = 0
+	}
+	binArea := s.HX * s.HY
+	nx, ny := s.NX, s.NY
+
+	for i := range e.nl.Instances {
+		cx, cy := xy[2*i], xy[2*i+1]
+		w, h := e.chargeW[i], e.chargeH[i]
+		// Local smoothing: stretch tiny cells to at least one bin while
+		// conserving charge.
+		sw, sh := math.Max(w, s.HX), math.Max(h, s.HY)
+		scale := (w * h) / (sw * sh)
+		x0 := cx - sw/2
+		y0 := cy - sh/2
+		bx0 := int(math.Floor(x0 / s.HX))
+		by0 := int(math.Floor(y0 / s.HY))
+		bx1 := int(math.Ceil((x0 + sw) / s.HX))
+		by1 := int(math.Ceil((y0 + sh) / s.HY))
+		for by := by0; by < by1; by++ {
+			if by < 0 || by >= ny {
+				continue
+			}
+			yLo := math.Max(y0, float64(by)*s.HY)
+			yHi := math.Min(y0+sh, float64(by+1)*s.HY)
+			if yHi <= yLo {
+				continue
+			}
+			for bx := bx0; bx < bx1; bx++ {
+				if bx < 0 || bx >= nx {
+					continue
+				}
+				xLo := math.Max(x0, float64(bx)*s.HX)
+				xHi := math.Min(x0+sw, float64(bx+1)*s.HX)
+				if xHi <= xLo {
+					continue
+				}
+				s.Density[by*nx+bx] += (xHi - xLo) * (yHi - yLo) * scale / binArea
+			}
+		}
+	}
+
+	// Overflow measures physical overlap: charge density above 1.0 means
+	// instances stacked on top of each other (a cell body alone rasterizes
+	// to exactly 1.0, so a spread-out layout approaches zero overflow up to
+	// bin-boundary smear).
+	var over, totalCharge float64
+	for _, d := range s.Density {
+		totalCharge += d * binArea
+		if d > 1 {
+			over += (d - 1) * binArea
+		}
+	}
+	if totalCharge > 0 {
+		e.overflow = over / totalCharge
+	}
+
+	s.Solve()
+	for i := range e.nl.Instances {
+		q := e.chargeW[i] * e.chargeH[i]
+		cx, cy := xy[2*i], xy[2*i+1]
+		e.gradD[2*i] = -q * s.At(s.Ex, cx, cy)
+		e.gradD[2*i+1] = -q * s.At(s.Ey, cx, cy)
+	}
+	return s.Energy()
+}
+
+// splitCollisionPairs partitions the collision map by kind: qubit-qubit
+// pairs and segment-segment pairs get independently normalized repulsion
+// weights, so the handful of resonant qubit pairs is never drowned out by
+// the thousands of segment pairs.
+func (e *engine) splitCollisionPairs() {
+	if e.cm == nil {
+		return
+	}
+	for _, p := range e.cm.Pairs {
+		if e.nl.Instances[p[0]].Kind == component.KindQubit {
+			e.qubitPairs = append(e.qubitPairs, p)
+		} else {
+			e.segPairs = append(e.segPairs, p)
+		}
+	}
+}
+
+// pairRepulsion accumulates a finite-range repulsive potential
+//
+//	U(d) = (R² − d²)² / R³   for d < R,   0 otherwise,
+//
+// and its gradient over the given pairs. This realizes the frequency
+// repulsive force of Eq. 9 — active only inside the interaction radius and
+// pushing monotonically harder as near-resonant instances approach — with
+// two numerical properties the literal 1/d² profile lacks: the force is a
+// polynomial in the raw coordinate differences (no d→0 direction
+// singularity) and its stiffness is bounded by ~4/R everywhere, so stacked
+// pairs cannot collapse the optimizer's stable step size and freeze the
+// layout (see DESIGN.md, "Frequency force").
+func pairRepulsion(xy []float64, pairs [][2]int, grad []float64, rcut float64) float64 {
+	var total float64
+	r2 := rcut * rcut
+	r3 := r2 * rcut
+	for _, p := range pairs {
+		i, j := p[0], p[1]
+		dx := xy[2*i] - xy[2*j]
+		dy := xy[2*i+1] - xy[2*j+1]
+		d2 := dx*dx + dy*dy
+		if d2 >= r2 {
+			continue
+		}
+		gap := r2 - d2
+		total += gap * gap / r3
+		// ∂U/∂xi = −4·(R²−d²)·dx / R³.
+		scale := 4 * gap / r3
+		grad[2*i] -= scale * dx
+		grad[2*i+1] -= scale * dy
+		grad[2*j] += scale * dx
+		grad[2*j+1] += scale * dy
+	}
+	return total
+}
+
+// frequencyGrad evaluates the frequency repulsive potential of Eqs. 9-10,
+// split into qubit and segment components.
+func (e *engine) frequencyGrad(xy []float64) (fq, fs float64) {
+	for i := range e.gradFQ {
+		e.gradFQ[i] = 0
+		e.gradFS[i] = 0
+	}
+	if e.cm == nil || e.cfg.Mode == ModeClassic {
+		return 0, 0
+	}
+	fq = pairRepulsion(xy, e.qubitPairs, e.gradFQ, e.cfg.FreqCutoffMM)
+	fs = pairRepulsion(xy, e.segPairs, e.gradFS, e.cfg.FreqCutoffSegMM)
+	return fq, fs
+}
+
+// wallGrad adds a quadratic boundary spring pulling instances back into the
+// region (smooth substitute for hard clamping during optimization).
+func (e *engine) wallGrad(xy []float64) {
+	for i := range e.gradWall {
+		e.gradWall[i] = 0
+	}
+	r := e.region
+	for i := range e.nl.Instances {
+		hw := e.chargeW[i] / 2
+		hh := e.chargeH[i] / 2
+		x, y := xy[2*i], xy[2*i+1]
+		if v := x - hw - r.Lo.X; v < 0 {
+			e.gradWall[2*i] += 2 * v
+		}
+		if v := x + hw - r.Hi.X; v > 0 {
+			e.gradWall[2*i] += 2 * v
+		}
+		if v := y - hh - r.Lo.Y; v < 0 {
+			e.gradWall[2*i+1] += 2 * v
+		}
+		if v := y + hh - r.Hi.Y; v > 0 {
+			e.gradWall[2*i+1] += 2 * v
+		}
+	}
+}
+
+func (e *engine) clampInto(xy []float64) {
+	r := e.region
+	for i := range e.nl.Instances {
+		hw := e.chargeW[i] / 2
+		hh := e.chargeH[i] / 2
+		xy[2*i] = math.Min(math.Max(xy[2*i], r.Lo.X+hw), r.Hi.X-hw)
+		xy[2*i+1] = math.Min(math.Max(xy[2*i+1], r.Lo.Y+hh), r.Hi.Y-hh)
+	}
+}
+
+// l1 returns the L1 norm of v.
+func l1(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// HPWL returns the true half-perimeter wirelength Σ |Δx|+|Δy| over nets.
+func HPWL(nl *component.Netlist) float64 {
+	var total float64
+	for _, net := range nl.Nets {
+		a := nl.Instances[net[0]].Pos
+		b := nl.Instances[net[1]].Pos
+		total += math.Abs(a.X-b.X) + math.Abs(a.Y-b.Y)
+	}
+	return total
+}

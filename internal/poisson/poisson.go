@@ -1,0 +1,149 @@
+// Package poisson implements the spectral Poisson solver at the heart of the
+// electrostatic ("eDensity") placement model. Given a charge-density field ρ
+// sampled on a regular bin grid, it solves
+//
+//	∇²ψ = −ρ   with zero-Neumann boundary conditions,
+//
+// by expanding ρ in the cosine basis (DCT), dividing by the eigenvalues
+// w_u² + w_v² of the Laplacian, and synthesizing the potential ψ and the
+// electric field E = −∇ψ with the mixed cosine/sine transforms. This is the
+// formulation of ePlace [Lu et al.] adopted by the paper (§IV-C1): instances
+// act as positive charges, and the field spreads them toward uniform density.
+package poisson
+
+import (
+	"fmt"
+	"math"
+
+	"qplacer/internal/fft"
+)
+
+// Solver holds the grid geometry, the input density and the solution fields.
+// Fields are row-major with index [y*NX+x]. Not safe for concurrent use.
+type Solver struct {
+	NX, NY int     // bin counts (powers of two)
+	HX, HY float64 // physical bin dimensions
+
+	Density []float64 // input charge density ρ (overwritten only by caller)
+	Psi     []float64 // potential ψ
+	Ex, Ey  []float64 // field components E = −∇ψ
+
+	grid   *fft.Grid2D
+	coeff  []float64 // DCT coefficients of ρ, then scaled
+	bufPsi []float64
+	bufEx  []float64
+	bufEy  []float64
+	wx     []float64 // w_u = πu/(NX·HX)
+	wy     []float64 // w_v = πv/(NY·HY)
+}
+
+// NewSolver returns a solver for an nx×ny grid of hx×hy bins.
+func NewSolver(nx, ny int, hx, hy float64) *Solver {
+	if !fft.IsPow2(nx) || !fft.IsPow2(ny) {
+		panic(fmt.Sprintf("poisson: grid %dx%d must be powers of two", nx, ny))
+	}
+	if hx <= 0 || hy <= 0 {
+		panic("poisson: bin dimensions must be positive")
+	}
+	s := &Solver{
+		NX: nx, NY: ny, HX: hx, HY: hy,
+		Density: make([]float64, nx*ny),
+		Psi:     make([]float64, nx*ny),
+		Ex:      make([]float64, nx*ny),
+		Ey:      make([]float64, nx*ny),
+		grid:    fft.NewGrid2D(nx, ny),
+		coeff:   make([]float64, nx*ny),
+		bufPsi:  make([]float64, nx*ny),
+		bufEx:   make([]float64, nx*ny),
+		bufEy:   make([]float64, nx*ny),
+		wx:      make([]float64, nx),
+		wy:      make([]float64, ny),
+	}
+	for u := 0; u < nx; u++ {
+		s.wx[u] = math.Pi * float64(u) / (float64(nx) * hx)
+	}
+	for v := 0; v < ny; v++ {
+		s.wy[v] = math.Pi * float64(v) / (float64(ny) * hy)
+	}
+	return s
+}
+
+// Solve computes Psi, Ex and Ey from the current Density.
+func (s *Solver) Solve() {
+	nx, ny := s.NX, s.NY
+	copy(s.coeff, s.Density)
+	s.grid.DCT2D(s.coeff)
+
+	// Normalize the analysis coefficients so that SynthCosCos (with its
+	// halved u=0 / v=0 terms) reconstructs the input exactly, then divide by
+	// the Laplacian eigenvalues.
+	norm := 4 / float64(nx*ny)
+	for v := 0; v < ny; v++ {
+		for u := 0; u < nx; u++ {
+			i := v*nx + u
+			if u == 0 && v == 0 {
+				s.bufPsi[i], s.bufEx[i], s.bufEy[i] = 0, 0, 0
+				continue
+			}
+			lambda := s.wx[u]*s.wx[u] + s.wy[v]*s.wy[v]
+			c := s.coeff[i] * norm / lambda
+			s.bufPsi[i] = c
+			s.bufEx[i] = c * s.wx[u]
+			s.bufEy[i] = c * s.wy[v]
+		}
+	}
+
+	copy(s.Psi, s.bufPsi)
+	s.grid.SynthCosCos(s.Psi)
+	copy(s.Ex, s.bufEx)
+	s.grid.SynthSinCos(s.Ex)
+	copy(s.Ey, s.bufEy)
+	s.grid.SynthCosSin(s.Ey)
+}
+
+// Energy returns the total electrostatic energy ½·Σ ρ·ψ·(bin area) of the
+// last Solve. It is the density-penalty value used by the placer.
+func (s *Solver) Energy() float64 {
+	var e float64
+	for i := range s.Psi {
+		e += s.Density[i] * s.Psi[i]
+	}
+	return e * s.HX * s.HY / 2
+}
+
+// At returns the bilinear interpolation of field f (one of Psi/Ex/Ey) at the
+// physical point (x, y), where the domain spans [0, NX·HX] × [0, NY·HY] and
+// sample (i, j) sits at the bin centre ((i+0.5)·HX, (j+0.5)·HY).
+func (s *Solver) At(f []float64, x, y float64) float64 {
+	fx := x/s.HX - 0.5
+	fy := y/s.HY - 0.5
+	x0 := int(math.Floor(fx))
+	y0 := int(math.Floor(fy))
+	tx := fx - float64(x0)
+	ty := fy - float64(y0)
+	clampX := func(i int) int {
+		if i < 0 {
+			return 0
+		}
+		if i >= s.NX {
+			return s.NX - 1
+		}
+		return i
+	}
+	clampY := func(j int) int {
+		if j < 0 {
+			return 0
+		}
+		if j >= s.NY {
+			return s.NY - 1
+		}
+		return j
+	}
+	x0c, x1c := clampX(x0), clampX(x0+1)
+	y0c, y1c := clampY(y0), clampY(y0+1)
+	f00 := f[y0c*s.NX+x0c]
+	f10 := f[y0c*s.NX+x1c]
+	f01 := f[y1c*s.NX+x0c]
+	f11 := f[y1c*s.NX+x1c]
+	return f00*(1-tx)*(1-ty) + f10*tx*(1-ty) + f01*(1-tx)*ty + f11*tx*ty
+}

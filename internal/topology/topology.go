@@ -1,0 +1,384 @@
+// Package topology defines the six quantum-device connectivity topologies of
+// Table I: Grid-25, the IBM heavy-hex Falcon (27 qubits) and Eagle (127
+// qubits), the Rigetti octagon lattices Aspen-11 (40) and Aspen-M (80), and
+// the Pauli-string-efficient Xtree (53). Each device carries its coupling
+// graph and canonical planar coordinates (unit pitch) used by the Human
+// baseline layout and as the placer's initial positions.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"qplacer/internal/geom"
+	"qplacer/internal/graph"
+)
+
+// Device is a quantum-processor connectivity topology.
+type Device struct {
+	Name        string
+	Description string
+	NumQubits   int
+	Graph       *graph.Graph // qubit coupling graph
+	Coords      []geom.Point // canonical planar coordinates, unit pitch
+}
+
+// Edges returns the coupling edges (u < v, sorted).
+func (d *Device) Edges() [][2]int { return d.Graph.Edges() }
+
+// NumEdges returns the number of couplings (= resonators).
+func (d *Device) NumEdges() int { return d.Graph.M() }
+
+// Validate checks internal consistency; generators call it before returning.
+func (d *Device) Validate() error {
+	if d.NumQubits != d.Graph.N() || d.NumQubits != len(d.Coords) {
+		return fmt.Errorf("topology %s: inconsistent sizes (%d qubits, %d graph, %d coords)",
+			d.Name, d.NumQubits, d.Graph.N(), len(d.Coords))
+	}
+	if !d.Graph.Connected() {
+		return fmt.Errorf("topology %s: coupling graph is disconnected", d.Name)
+	}
+	seen := make(map[geom.Point]int, len(d.Coords))
+	for q, p := range d.Coords {
+		if prev, dup := seen[p]; dup {
+			return fmt.Errorf("topology %s: qubits %d and %d share coordinate %v",
+				d.Name, prev, q, p)
+		}
+		seen[p] = q
+	}
+	return nil
+}
+
+func mustDevice(d *Device) *Device {
+	if err := d.Validate(); err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Grid25 returns the 5×5 grid, a quantum-error-correction-friendly
+// architecture (Google Sycamore style) with 25 qubits and 40 couplings.
+func Grid25() *Device {
+	const n = 5
+	g := graph.New(n * n)
+	coords := make([]geom.Point, n*n)
+	id := func(r, c int) int { return r*n + c }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			coords[id(r, c)] = geom.Point{X: float64(c), Y: float64(r)}
+			if c+1 < n {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < n {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return mustDevice(&Device{
+		Name:        "grid",
+		Description: "Quantum error correction friendly 5x5 grid",
+		NumQubits:   n * n,
+		Graph:       g,
+		Coords:      coords,
+	})
+}
+
+// falconEdges is the published 27-qubit IBM Falcon heavy-hex coupling map
+// (e.g. ibmq_mumbai / ibm_hanoi), 28 couplings.
+var falconEdges = [][2]int{
+	{0, 1}, {1, 2}, {1, 4}, {2, 3}, {3, 5}, {4, 7}, {5, 8}, {6, 7},
+	{7, 10}, {8, 9}, {8, 11}, {10, 12}, {11, 14}, {12, 13}, {12, 15},
+	{13, 14}, {14, 16}, {15, 18}, {16, 19}, {17, 18}, {18, 21}, {19, 20},
+	{19, 22}, {21, 23}, {22, 25}, {23, 24}, {24, 25}, {25, 26},
+}
+
+// falconCoords places the Falcon on its standard two-rail heavy-hex drawing.
+var falconCoords = []geom.Point{
+	0:  {X: 0, Y: 3},
+	1:  {X: 0, Y: 2},
+	2:  {X: 0, Y: 1},
+	3:  {X: 0, Y: 0},
+	4:  {X: 1, Y: 2},
+	5:  {X: 1, Y: 0},
+	6:  {X: 2, Y: 3},
+	7:  {X: 2, Y: 2},
+	8:  {X: 2, Y: 0},
+	9:  {X: 2, Y: -1},
+	10: {X: 3, Y: 2},
+	11: {X: 3, Y: 0},
+	12: {X: 4, Y: 2},
+	13: {X: 4, Y: 1},
+	14: {X: 4, Y: 0},
+	15: {X: 5, Y: 2},
+	16: {X: 5, Y: 0},
+	17: {X: 6, Y: 3},
+	18: {X: 6, Y: 2},
+	19: {X: 6, Y: 0},
+	20: {X: 6, Y: -1},
+	21: {X: 7, Y: 2},
+	22: {X: 7, Y: 0},
+	23: {X: 8, Y: 2},
+	24: {X: 8, Y: 1},
+	25: {X: 8, Y: 0},
+	26: {X: 9, Y: 0},
+}
+
+// Falcon27 returns the IBM Falcon 27-qubit heavy-hex processor.
+func Falcon27() *Device {
+	g := graph.FromEdges(27, falconEdges)
+	return mustDevice(&Device{
+		Name:        "falcon",
+		Description: "IBM Falcon heavy-hex processor, 27 qubits",
+		NumQubits:   27,
+		Graph:       g,
+		Coords:      append([]geom.Point(nil), falconCoords...),
+	})
+}
+
+// Eagle127 returns the IBM Eagle 127-qubit heavy-hex processor: seven long
+// rows (14, 15, 15, 15, 15, 15, 14 qubits) interleaved with six rows of four
+// vertical connectors, 144 couplings in total (ibm_washington structure).
+func Eagle127() *Device {
+	type rowSpec struct {
+		width  int
+		offset int // column of the leftmost qubit
+	}
+	longRows := []rowSpec{
+		{14, 0}, {15, 0}, {15, 0}, {15, 0}, {15, 0}, {15, 0}, {14, 1},
+	}
+	// Connector columns alternate between {0,4,8,12} and {2,6,10,14}.
+	connCols := [][]int{
+		{0, 4, 8, 12}, {2, 6, 10, 14}, {0, 4, 8, 12},
+		{2, 6, 10, 14}, {0, 4, 8, 12}, {2, 6, 10, 14},
+	}
+
+	var coords []geom.Point
+	// rowQubit[r][col] = qubit id at (row r, column col).
+	rowQubit := make([]map[int]int, len(longRows))
+	next := 0
+	addQubit := func(x, y float64) int {
+		coords = append(coords, geom.Point{X: x, Y: y})
+		next++
+		return next - 1
+	}
+
+	type pendingLink struct{ conn, row, col int }
+	var pending []pendingLink
+	var edges [][2]int
+	for r, spec := range longRows {
+		rowQubit[r] = make(map[int]int)
+		y := float64(-2 * r) // rows descend: long rows at even y
+		prev := -1
+		for i := 0; i < spec.width; i++ {
+			col := spec.offset + i
+			q := addQubit(float64(col), y)
+			rowQubit[r][col] = q
+			if prev >= 0 {
+				edges = append(edges, [2]int{prev, q})
+			}
+			prev = q
+		}
+		if r < len(connCols) {
+			yc := y - 1
+			for _, col := range connCols[r] {
+				c := addQubit(float64(col), yc)
+				up, okUp := rowQubit[r][col]
+				if !okUp {
+					panic(fmt.Sprintf("eagle: connector col %d missing upper qubit in row %d", col, r))
+				}
+				edges = append(edges, [2]int{up, c})
+				// The matching lower edge is added once the next row exists.
+				pending = append(pending, pendingLink{conn: c, row: r + 1, col: col})
+			}
+		}
+	}
+	for _, p := range pending {
+		down, ok := rowQubit[p.row][p.col]
+		if !ok {
+			panic(fmt.Sprintf("eagle: connector col %d missing lower qubit in row %d", p.col, p.row))
+		}
+		edges = append(edges, [2]int{p.conn, down})
+	}
+
+	g := graph.FromEdges(next, edges)
+	return mustDevice(&Device{
+		Name:        "eagle",
+		Description: "IBM Eagle heavy-hex processor, 127 qubits",
+		NumQubits:   next,
+		Graph:       g,
+		Coords:      coords,
+	})
+}
+
+// octagonLattice builds a rows×cols lattice of 8-qubit octagon rings with
+// two couplings between facing vertices of adjacent octagons (the Rigetti
+// Aspen family structure).
+func octagonLattice(name, desc string, rows, cols int) *Device {
+	const pitch = 3.0
+	n := rows * cols * 8
+	g := graph.New(n)
+	coords := make([]geom.Point, n)
+	// Vertex k of an octagon sits at angle 22.5° + 45°·k; radius chosen so
+	// the facing vertices of adjacent octagons are one unit pitch apart.
+	const radius = 1.0
+	vert := func(oct, k int) int { return oct*8 + k }
+	angle := func(k int) (float64, float64) {
+		a := (22.5 + 45*float64(k)) * math.Pi / 180
+		return math.Cos(a), math.Sin(a)
+	}
+	octID := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			o := octID(r, c)
+			cx := float64(c) * pitch
+			cy := float64(r) * pitch
+			for k := 0; k < 8; k++ {
+				dx, dy := angle(k)
+				coords[vert(o, k)] = geom.Point{X: cx + radius*dx, Y: cy + radius*dy}
+				g.AddEdge(vert(o, k), vert(o, (k+1)%8))
+			}
+			// Right neighbour: my right side (k=0 top-right, k=7
+			// bottom-right) to its left side (k=3 top-left, k=4 bottom-left).
+			if c+1 < cols {
+				g.AddEdge(vert(o, 0), vert(octID(r, c+1), 3))
+				g.AddEdge(vert(o, 7), vert(octID(r, c+1), 4))
+			}
+			// Upper neighbour: my top side (k=1 right-top, k=2 left-top) to
+			// its bottom side (k=6 right-bottom, k=5 left-bottom).
+			if r+1 < rows {
+				g.AddEdge(vert(o, 1), vert(octID(r+1, c), 6))
+				g.AddEdge(vert(o, 2), vert(octID(r+1, c), 5))
+			}
+		}
+	}
+	return mustDevice(&Device{
+		Name:        name,
+		Description: desc,
+		NumQubits:   n,
+		Graph:       g,
+		Coords:      coords,
+	})
+}
+
+// Aspen11 returns the Rigetti Aspen-11 processor: five octagons in a row,
+// 40 qubits and 48 couplings.
+func Aspen11() *Device {
+	return octagonLattice("aspen11", "Rigetti Aspen-11 octagon processor, 40 qubits", 1, 5)
+}
+
+// AspenM returns the Rigetti Aspen-M processor: a 2×5 octagon lattice,
+// 80 qubits and 106 couplings.
+func AspenM() *Device {
+	return octagonLattice("aspenm", "Rigetti Aspen-M octagon processor, 80 qubits", 2, 5)
+}
+
+// Xtree53 returns the level-3 X-tree of Li et al. (Pauli-string-efficient
+// architecture): a root with four children, each with four children, each of
+// which has two leaves — 1 + 4 + 16 + 32 = 53 qubits, 52 couplings.
+func Xtree53() *Device {
+	g := graph.New(53)
+	coords := make([]geom.Point, 53)
+	next := 0
+	newNode := func() int { next++; return next - 1 }
+
+	root := newNode()
+	type node struct {
+		id    int
+		level int
+	}
+	frontier := []node{{root, 0}}
+	childCount := map[int]int{0: 4, 1: 4, 2: 2}
+	var leaves []int
+	parent := make([]int, 53)
+	parent[root] = -1
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		cc := childCount[cur.level]
+		if cc == 0 {
+			leaves = append(leaves, cur.id)
+			continue
+		}
+		for i := 0; i < cc; i++ {
+			ch := newNode()
+			parent[ch] = cur.id
+			g.AddEdge(cur.id, ch)
+			frontier = append(frontier, node{ch, cur.level + 1})
+		}
+	}
+	if next != 53 {
+		panic(fmt.Sprintf("xtree: generated %d nodes, want 53", next))
+	}
+
+	// Layered tree drawing: leaves evenly spaced at the bottom, parents
+	// centred over their children.
+	depth := func(q int) int {
+		d := 0
+		for p := parent[q]; p >= 0; p = parent[p] {
+			d++
+		}
+		return d
+	}
+	sort.Ints(leaves)
+	xPos := make([]float64, 53)
+	havePos := make([]bool, 53)
+	for i, l := range leaves {
+		xPos[l] = float64(i * 2)
+		havePos[l] = true
+	}
+	// Propagate upward (children have larger ids than parents, so a reverse
+	// sweep sees all children before each parent).
+	childSum := make([]float64, 53)
+	childN := make([]int, 53)
+	for q := 52; q >= 0; q-- {
+		if !havePos[q] {
+			if childN[q] == 0 {
+				panic("xtree: interior node without positioned children")
+			}
+			xPos[q] = childSum[q] / float64(childN[q])
+			havePos[q] = true
+		}
+		if p := parent[q]; p >= 0 {
+			childSum[p] += xPos[q]
+			childN[p]++
+		}
+	}
+	for q := 0; q < 53; q++ {
+		coords[q] = geom.Point{X: xPos[q], Y: float64(3-depth(q)) * 2}
+	}
+	return mustDevice(&Device{
+		Name:        "xtree",
+		Description: "Pauli-string efficient X-tree (level 3), 53 qubits",
+		NumQubits:   53,
+		Graph:       g,
+		Coords:      coords,
+	})
+}
+
+// All returns the six evaluation topologies in the paper's Table I order.
+func All() []*Device {
+	return []*Device{
+		Grid25(), Falcon27(), Eagle127(), Aspen11(), AspenM(), Xtree53(),
+	}
+}
+
+// ByName returns the named device ("grid", "falcon", "eagle", "aspen11",
+// "aspenm", "xtree").
+func ByName(name string) (*Device, error) {
+	switch name {
+	case "grid":
+		return Grid25(), nil
+	case "falcon":
+		return Falcon27(), nil
+	case "eagle":
+		return Eagle127(), nil
+	case "aspen11":
+		return Aspen11(), nil
+	case "aspenm":
+		return AspenM(), nil
+	case "xtree":
+		return Xtree53(), nil
+	}
+	return nil, fmt.Errorf("topology: unknown device %q", name)
+}
