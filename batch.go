@@ -1,0 +1,120 @@
+package qplacer
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"time"
+)
+
+// BatchResult aggregates a concurrent multi-benchmark evaluation.
+type BatchResult struct {
+	// Results holds one entry per requested benchmark, in input order.
+	Results []*EvalResult
+	// MeanFidelity is the unweighted mean of the per-benchmark means.
+	MeanFidelity float64
+	// MinFidelity and MaxFidelity are the extremes over every mapping of
+	// every benchmark.
+	MinFidelity float64
+	MaxFidelity float64
+	// TotalMappings counts the mappings evaluated across all benchmarks.
+	TotalMappings int
+	// Elapsed is the wall-clock time of the whole batch.
+	Elapsed time.Duration
+}
+
+// EvaluateAll evaluates the plan on several benchmarks concurrently, fanning
+// the per-benchmark work out over a bounded worker pool (WithWorkers; default
+// GOMAXPROCS). A nil or empty benchNames evaluates every registered
+// benchmark. The first failure cancels the remaining work and is returned;
+// cancellation of ctx surfaces as ErrCancelled.
+func (e *Engine) EvaluateAll(ctx context.Context, plan *PlanResult, benchNames []string, nMappings int) (*BatchResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(benchNames) == 0 {
+		benchNames = RegisteredBenchmarks()
+	}
+	start := time.Now()
+
+	workers := e.settings.workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(benchNames) {
+		workers = len(benchNames)
+	}
+
+	// First failure cancels the pool; per-index slots keep results ordered
+	// without further synchronization.
+	poolCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]*EvalResult, len(benchNames))
+	errs := make([]error, len(benchNames))
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r, err := e.Evaluate(poolCtx, plan, benchNames[i], nMappings)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := range benchNames {
+		select {
+		case jobs <- i:
+		case <-poolCtx.Done():
+		}
+		if poolCtx.Err() != nil {
+			break
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, wrapCancel(err)
+	}
+	// Prefer the root cause over ErrCancelled noise from the pool teardown.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, ErrCancelled) {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	out := &BatchResult{
+		Results:     results,
+		MinFidelity: math.Inf(1),
+		MaxFidelity: math.Inf(-1),
+		Elapsed:     time.Since(start),
+	}
+	for _, r := range results {
+		out.MeanFidelity += r.MeanFidelity
+		out.MinFidelity = math.Min(out.MinFidelity, r.MinFidelity)
+		out.MaxFidelity = math.Max(out.MaxFidelity, r.MaxFidelity)
+		out.TotalMappings += r.NumMappings
+	}
+	out.MeanFidelity /= float64(len(results))
+	return out, nil
+}

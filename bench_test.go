@@ -5,6 +5,7 @@
 package qplacer
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -149,6 +150,52 @@ func BenchmarkTable2_Runtime(b *testing.B) {
 			}
 			b.ReportMetric(float64(plan.NumCells), fmt.Sprintf("cells_lb%.1f", lb))
 			b.ReportMetric(plan.AvgIterMS, fmt.Sprintf("ms_per_iter_lb%.1f", lb))
+		}
+	}
+}
+
+// BenchmarkEngineColdPlan: a fresh engine per iteration — every run rebuilds
+// the device, assignment, netlist, and collision map and places from scratch.
+// The baseline for BenchmarkEngineWarmPlan.
+func BenchmarkEngineColdPlan(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		eng := New()
+		if _, err := eng.Plan(ctx, WithTopology("grid")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineWarmPlan: repeated Plan calls on one long-lived engine; the
+// stage and plan caches make the warm call dramatically (far beyond the
+// required 1.5×) faster than BenchmarkEngineColdPlan.
+func BenchmarkEngineWarmPlan(b *testing.B) {
+	ctx := context.Background()
+	eng := New()
+	if _, err := eng.Plan(ctx, WithTopology("grid")); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Plan(ctx, WithTopology("grid")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineEvaluateAll: the concurrent suite evaluation on a warm plan.
+func BenchmarkEngineEvaluateAll(b *testing.B) {
+	ctx := context.Background()
+	eng := New()
+	plan, err := eng.Plan(ctx, WithTopology("grid"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.EvaluateAll(ctx, plan, Benchmarks(), 5); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
 
 	"qplacer"
 	"qplacer/internal/emsim"
@@ -32,21 +35,16 @@ var (
 	devFlag = flag.String("topologies", "", "comma-free list override, e.g. 'grid falcon'")
 )
 
+// eng is shared by every figure: its stage and plan caches mean each
+// topology×scheme placement runs once no matter how many figures use it.
+var eng = qplacer.New()
+
+// ctx carries Ctrl-C cancellation into the placement hot loops.
+var ctx = context.Background()
+
 func topologies() []string {
 	if *devFlag != "" {
-		var out []string
-		cur := ""
-		for _, r := range *devFlag + " " {
-			if r == ' ' {
-				if cur != "" {
-					out = append(out, cur)
-					cur = ""
-				}
-			} else {
-				cur += string(r)
-			}
-		}
-		return out
+		return strings.Fields(*devFlag)
 	}
 	if *quick {
 		return []string{"grid", "falcon", "xtree"}
@@ -81,7 +79,7 @@ func plans(topo string) map[string]*qplacer.PlanResult {
 		"classic": qplacer.SchemeClassic,
 		"human":   qplacer.SchemeHuman,
 	} {
-		p, err := qplacer.Plan(qplacer.Options{Topology: topo, Scheme: sch})
+		p, err := eng.Plan(ctx, qplacer.WithTopology(topo), qplacer.WithScheme(sch))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -158,7 +156,7 @@ func fig11and12() {
 			row := []string{topo, bench}
 			var fq, fc float64
 			for _, scheme := range []string{"qplacer", "classic", "human"} {
-				ev, err := qplacer.Evaluate(ps[scheme], bench, mappings())
+				ev, err := eng.Evaluate(ctx, ps[scheme], bench, mappings())
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -221,7 +219,7 @@ func fig13() {
 
 // fig14: Falcon layout prototype rendered to SVG + GDS.
 func fig14() {
-	plan, err := qplacer.Plan(qplacer.Options{Topology: "falcon"})
+	plan, err := eng.Plan(ctx, qplacer.WithTopology("falcon"))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -251,7 +249,7 @@ func fig15andTable2() {
 	var t2 [][]string
 	for _, topo := range topologies() {
 		for _, lb := range []float64{0.2, 0.3, 0.4} {
-			plan, err := qplacer.Plan(qplacer.Options{Topology: topo, LB: lb})
+			plan, err := eng.Plan(ctx, qplacer.WithTopology(topo), qplacer.WithLB(lb))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -283,16 +281,12 @@ func fig1() {
 	for _, topo := range topologies() {
 		ps := plans(topo)
 		for name, p := range ps {
-			var mean float64
-			benches := qplacer.Benchmarks()
-			for _, b := range benches {
-				ev, err := qplacer.Evaluate(p, b, mappings())
-				if err != nil {
-					log.Fatal(err)
-				}
-				mean += ev.MeanFidelity
+			// The benchmark suite fans out over the engine's worker pool.
+			batch, err := eng.EvaluateAll(ctx, p, qplacer.Benchmarks(), mappings())
+			if err != nil {
+				log.Fatal(err)
 			}
-			mean /= float64(len(benches))
+			mean := batch.MeanFidelity
 			rows = append(rows, []string{
 				topo, name,
 				fmt.Sprintf("%.2f", p.Metrics.Amer),
@@ -308,7 +302,8 @@ func fig1() {
 func table1() {
 	var rows [][]string
 	for _, topo := range qplacer.Topologies() {
-		plan, err := qplacer.Plan(qplacer.Options{Topology: topo, SkipLegalize: true, MaxIters: 1})
+		plan, err := eng.Plan(ctx, qplacer.WithTopology(topo),
+			qplacer.WithSkipLegalize(true), qplacer.WithMaxIters(1))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -326,6 +321,9 @@ func table1() {
 func main() {
 	log.SetFlags(0)
 	flag.Parse()
+	var stop context.CancelFunc
+	ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		log.Fatal(err)
 	}

@@ -1,18 +1,23 @@
 // Command qplacer places one device topology with one scheme and reports
 // the layout metrics; optionally it renders the layout to SVG and GDS-like
-// text and evaluates a benchmark's program fidelity.
+// text and evaluates benchmarks' program fidelity. Ctrl-C cancels the
+// placement mid-iteration.
 //
 // Usage:
 //
 //	qplacer -topology falcon -scheme qplacer -lb 0.3 -svg layout.svg \
 //	        -gds layout.gds -bench bv-4 -mappings 50
+//	qplacer -topology eagle -bench all        # whole suite, concurrent
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"strings"
 
 	"qplacer"
 )
@@ -21,32 +26,34 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("qplacer: ")
 	var (
-		topo     = flag.String("topology", "falcon", "device topology: grid|falcon|eagle|aspen11|aspenm|xtree")
+		topo     = flag.String("topology", "falcon", "device topology: "+strings.Join(qplacer.RegisteredTopologies(), "|"))
 		scheme   = flag.String("scheme", "qplacer", "placement scheme: qplacer|classic|human")
 		lb       = flag.Float64("lb", 0.3, "resonator segment size l_b (mm)")
 		seed     = flag.Int64("seed", 1, "engine seed")
 		svgPath  = flag.String("svg", "", "write layout SVG to this path")
 		gdsPath  = flag.String("gds", "", "write GDS-like text to this path")
-		bench    = flag.String("bench", "", "evaluate this Table I benchmark (e.g. bv-4)")
+		bench    = flag.String("bench", "", "evaluate this benchmark (e.g. bv-4), or 'all' for the whole suite")
 		mappings = flag.Int("mappings", 50, "number of subset mappings for -bench")
+		workers  = flag.Int("workers", 0, "worker-pool size for -bench all (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	var sch qplacer.Scheme
-	switch *scheme {
-	case "qplacer":
-		sch = qplacer.SchemeQplacer
-	case "classic":
-		sch = qplacer.SchemeClassic
-	case "human":
-		sch = qplacer.SchemeHuman
-	default:
-		log.Fatalf("unknown scheme %q", *scheme)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sch, err := qplacer.ParseScheme(*scheme)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	plan, err := qplacer.Plan(qplacer.Options{
-		Topology: *topo, Scheme: sch, LB: *lb, Seed: *seed,
-	})
+	eng := qplacer.New(
+		qplacer.WithTopology(*topo),
+		qplacer.WithScheme(sch),
+		qplacer.WithLB(*lb),
+		qplacer.WithSeed(*seed),
+		qplacer.WithWorkers(*workers),
+	)
+	plan, err := eng.Plan(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,30 +67,42 @@ func main() {
 	fmt.Printf("P_h          %.3f %%   violations %d   impacted qubits %d\n",
 		m.Ph, len(m.Violations), len(m.ImpactedQubits))
 
-	if *svgPath != "" {
-		f, err := os.Create(*svgPath)
+	writeLayout := func(path string, render func(*os.File) error) {
+		f, err := os.Create(path)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := plan.WriteSVG(f); err != nil {
+		if err := render(f); err != nil {
 			log.Fatal(err)
 		}
-		f.Close()
-		fmt.Printf("wrote %s\n", *svgPath)
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if *svgPath != "" {
+		writeLayout(*svgPath, func(f *os.File) error { return plan.WriteSVG(f) })
 	}
 	if *gdsPath != "" {
-		f, err := os.Create(*gdsPath)
+		writeLayout(*gdsPath, func(f *os.File) error { return plan.WriteGDS(f) })
+	}
+
+	switch *bench {
+	case "":
+	case "all":
+		batch, err := eng.EvaluateAll(ctx, plan, nil, *mappings)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := plan.WriteGDS(f); err != nil {
-			log.Fatal(err)
+		for _, ev := range batch.Results {
+			fmt.Printf("fidelity     %-10s mean %.4f  min %.4f  max %.4f (%d mappings)\n",
+				ev.Benchmark, ev.MeanFidelity, ev.MinFidelity, ev.MaxFidelity, ev.NumMappings)
 		}
-		f.Close()
-		fmt.Printf("wrote %s\n", *gdsPath)
-	}
-	if *bench != "" {
-		ev, err := qplacer.Evaluate(plan, *bench, *mappings)
+		fmt.Printf("suite        mean %.4f  min %.4f  max %.4f  (%d mappings in %v)\n",
+			batch.MeanFidelity, batch.MinFidelity, batch.MaxFidelity,
+			batch.TotalMappings, batch.Elapsed.Round(1e6))
+	default:
+		ev, err := eng.Evaluate(ctx, plan, *bench, *mappings)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,46 @@
+package qplacer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"qplacer/internal/circuit"
+	"qplacer/internal/topology"
+)
+
+// Sentinel errors for the public API. All failures that used to be
+// stringly-typed are now classifiable with errors.Is.
+var (
+	// ErrUnknownTopology reports a topology name with no registered
+	// generator (see RegisterTopology).
+	ErrUnknownTopology = topology.ErrUnknown
+	// ErrUnknownBenchmark reports a benchmark name with no registered
+	// builder (see RegisterBenchmark).
+	ErrUnknownBenchmark = circuit.ErrUnknown
+	// ErrDuplicateTopology reports a topology registration under a taken name.
+	ErrDuplicateTopology = topology.ErrDuplicate
+	// ErrDuplicateBenchmark reports a benchmark registration under a taken name.
+	ErrDuplicateBenchmark = circuit.ErrDuplicate
+	// ErrUnknownScheme reports a Scheme value outside the three strategies.
+	ErrUnknownScheme = errors.New("qplacer: unknown scheme")
+	// ErrCancelled reports a run stopped by its context. The wrapped error
+	// also satisfies errors.Is against context.Canceled or
+	// context.DeadlineExceeded, whichever fired.
+	ErrCancelled = errors.New("qplacer: cancelled")
+	// ErrNoMappings reports an evaluation whose mapper produced an empty
+	// mapping set, which would otherwise yield degenerate statistics.
+	ErrNoMappings = errors.New("qplacer: no mappings sampled")
+)
+
+// wrapCancel converts a context error into an ErrCancelled-classified error,
+// keeping the original cause in the chain; other errors pass through.
+func wrapCancel(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	return err
+}

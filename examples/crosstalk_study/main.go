@@ -1,12 +1,19 @@
 // Crosstalk physics study (the Fig. 4/5/6 curves): sweep coupling strength
 // against detuning and distance using the physics models and, optionally,
-// the finite-difference capacitance extractor.
+// the finite-difference capacitance extractor. The final section closes the
+// loop with the placement engine: the separations a placed layout actually
+// achieves between near-resonant components, read against these curves.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
+	"qplacer"
+	"qplacer/internal/component"
 	"qplacer/internal/emsim"
+	"qplacer/internal/metrics"
 	"qplacer/internal/physics"
 )
 
@@ -50,5 +57,17 @@ func main() {
 	for _, a := range []float64{5, 8, 10, 14} {
 		fmt.Printf("  %2.0f×%2.0f mm²  TM110 = %.2f GHz\n", a, a,
 			physics.TM110GHz(a, a, physics.EpsSilicon))
+	}
+
+	fmt.Println("— placed layouts: minimum near-resonant separation achieved")
+	eng := qplacer.New(qplacer.WithTopology("grid"))
+	for _, sch := range []qplacer.Scheme{qplacer.SchemeQplacer, qplacer.SchemeClassic} {
+		plan, err := eng.Plan(context.Background(), qplacer.WithScheme(sch))
+		if err != nil {
+			log.Fatal(err)
+		}
+		dq := metrics.MinResonantDistance(plan.Netlist, component.KindQubit, plan.Options.DeltaC)
+		fmt.Printf("  %-8v min resonant qubit distance %.2f mm  →  g=%.4f MHz\n",
+			sch, dq, physics.QubitParasiticCouplingMHz(5.0, 5.0, dq))
 	}
 }

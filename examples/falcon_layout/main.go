@@ -1,17 +1,24 @@
 // Falcon layout (the Fig. 14 workflow): place IBM's 27-qubit Falcon with
-// Qplacer, then export the layout as SVG and GDS-like text.
+// Qplacer, then export the layout as SVG and GDS-like text. Ctrl-C cancels
+// the placement mid-iteration instead of waiting out the run.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"qplacer"
 )
 
 func main() {
-	plan, err := qplacer.Plan(qplacer.Options{Topology: "falcon"})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eng := qplacer.New(qplacer.WithTopology("falcon"))
+	plan, err := eng.Plan(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

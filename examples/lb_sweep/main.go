@@ -1,8 +1,11 @@
 // Segment-size sweep (the Fig. 15 / Table II workflow): compare resonator
-// partitioning granularities l_b ∈ {0.2, 0.3, 0.4} mm on one topology.
+// partitioning granularities l_b ∈ {0.2, 0.3, 0.4} mm on one topology. The
+// sweep shares one engine, so the device and frequency assignment are reused
+// and only the l_b-dependent stages rerun.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,9 +13,12 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	eng := qplacer.New(qplacer.WithTopology("falcon"))
+
 	fmt.Println("lb(mm)  cells  util   Ph(%)   runtime")
 	for _, lb := range []float64{0.2, 0.3, 0.4} {
-		plan, err := qplacer.Plan(qplacer.Options{Topology: "falcon", LB: lb})
+		plan, err := eng.Plan(ctx, qplacer.WithLB(lb))
 		if err != nil {
 			log.Fatal(err)
 		}

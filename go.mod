@@ -1,0 +1,3 @@
+module qplacer
+
+go 1.24

@@ -180,13 +180,3 @@ func TableI() []Benchmark {
 		{"qgan-9", 9, func() *Circuit { return QGAN(9, 2) }},
 	}
 }
-
-// ByName returns the named Table I benchmark.
-func ByName(name string) (Benchmark, error) {
-	for _, b := range TableI() {
-		if b.Name == name {
-			return b, nil
-		}
-	}
-	return Benchmark{}, fmt.Errorf("circuit: unknown benchmark %q", name)
-}

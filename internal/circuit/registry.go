@@ -1,0 +1,70 @@
+package circuit
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrUnknown is returned (wrapped) by ByName for unregistered names.
+var ErrUnknown = errors.New("circuit: unknown benchmark")
+
+// ErrDuplicate is returned (wrapped) by Register when the name is taken.
+var ErrDuplicate = errors.New("circuit: duplicate benchmark name")
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Benchmark{}
+)
+
+// Register adds a benchmark to the registry. The Table I workloads are
+// registered this way at init; callers may add custom benchmarks at runtime.
+// The benchmark's Name must be non-empty and unused, and Build non-nil.
+func Register(b Benchmark) error {
+	if b.Name == "" {
+		return fmt.Errorf("circuit: register with empty name")
+	}
+	if b.Build == nil {
+		return fmt.Errorf("circuit: register %q with nil builder", b.Name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[b.Name]; ok {
+		return fmt.Errorf("%w %q", ErrDuplicate, b.Name)
+	}
+	registry[b.Name] = b
+	return nil
+}
+
+// ByName returns the named benchmark. The error wraps ErrUnknown when no
+// benchmark is registered under the name.
+func ByName(name string) (Benchmark, error) {
+	regMu.RLock()
+	b, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return Benchmark{}, fmt.Errorf("%w %q", ErrUnknown, name)
+	}
+	return b, nil
+}
+
+// Names returns every registered benchmark name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	for _, b := range TableI() {
+		if err := Register(b); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package circuit
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegisterAndByNameCustom(t *testing.T) {
+	const name = "registry-test-bell"
+	b := Benchmark{Name: name, Qubits: 2, Build: func() *Circuit {
+		c := &Circuit{Name: name, NumQubits: 2}
+		c.h(0)
+		c.cz(0, 1)
+		return c
+	}}
+	if err := Register(b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ := got.Build()
+	if err := circ.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n1q, n2q := circ.Counts()
+	if n1q != 1 || n2q != 1 {
+		t.Fatalf("counts = %d,%d", n1q, n2q)
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	const name = "registry-test-dup"
+	b := Benchmark{Name: name, Qubits: 2, Build: func() *Circuit { return BV(2) }}
+	if err := Register(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(b); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate registration error = %v, want ErrDuplicate", err)
+	}
+	if err := Register(Benchmark{Name: "bv-4", Qubits: 4, Build: b.Build}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("registering over built-in bv-4: %v, want ErrDuplicate", err)
+	}
+}
+
+func TestRegisterRejectsInvalid(t *testing.T) {
+	if err := Register(Benchmark{Qubits: 2, Build: func() *Circuit { return BV(2) }}); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if err := Register(Benchmark{Name: "registry-test-nilbuild", Qubits: 2}); err == nil {
+		t.Fatal("nil builder must fail")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	_, err := ByName("registry-test-bogus")
+	if !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown lookup error = %v, want ErrUnknown", err)
+	}
+}
+
+func TestTableIRegistered(t *testing.T) {
+	for _, b := range TableI() {
+		got, err := ByName(b.Name)
+		if err != nil {
+			t.Fatalf("built-in %q: %v", b.Name, err)
+		}
+		if got.Qubits != b.Qubits {
+			t.Fatalf("%q qubits = %d, want %d", b.Name, got.Qubits, b.Qubits)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package legal
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"qplacer/internal/physics"
+	"qplacer/internal/place"
+)
+
+func TestLegalizeCtxCancelled(t *testing.T) {
+	nl, region := placedNetlist(t, "grid", place.ModeQplacer)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := LegalizeCtx(ctx, nl, region, physics.DetuneThresholdGHz, DefaultConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

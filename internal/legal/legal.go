@@ -9,6 +9,7 @@
 package legal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -79,6 +80,7 @@ func LegalRect(in *component.Instance) geom.Rect {
 
 // legalizer carries run state.
 type legalizer struct {
+	ctx    context.Context
 	cfg    Config
 	nl     *component.Netlist
 	deltaC float64
@@ -172,10 +174,19 @@ func (lg *legalizer) indexRemove(placedIdx int, r geom.Rect) {
 // region is the placement region (the layout may grow slightly past it if
 // space runs out); deltaC is the resonance threshold for swap checks.
 func Legalize(nl *component.Netlist, region geom.Rect, deltaC float64, cfg Config) (*Result, error) {
+	return LegalizeCtx(context.Background(), nl, region, deltaC, cfg)
+}
+
+// LegalizeCtx is Legalize with cancellation: the instance-loop passes
+// (greedy qubits, Tetris segments, integration, compaction) check ctx
+// between instances, and the min-cost-flow refinement checks it before its
+// indivisible solve; the first ctx.Err() observed is returned.
+func LegalizeCtx(ctx context.Context, nl *component.Netlist, region geom.Rect, deltaC float64, cfg Config) (*Result, error) {
 	if cfg.Pitch <= 0 || cfg.MaxRings <= 0 {
 		return nil, fmt.Errorf("legal: invalid config %+v", cfg)
 	}
 	lg := &legalizer{
+		ctx:    ctx,
 		cfg:    cfg,
 		nl:     nl,
 		deltaC: deltaC,
@@ -197,11 +208,21 @@ func Legalize(nl *component.Netlist, region geom.Rect, deltaC float64, cfg Confi
 		anchors[i] = nl.Instances[qi].Pos
 	}
 
-	lg.legalizeQubits(res)
-	lg.refineQubits(res, anchors)
-	lg.legalizeSegments(res)
-	lg.integrate(res)
-	lg.compact(res)
+	if err := lg.legalizeQubits(res); err != nil {
+		return nil, err
+	}
+	if err := lg.refineQubits(res, anchors); err != nil {
+		return nil, err
+	}
+	if err := lg.legalizeSegments(res); err != nil {
+		return nil, err
+	}
+	if err := lg.integrate(res); err != nil {
+		return nil, err
+	}
+	if err := lg.compact(res); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -345,7 +366,7 @@ func (lg *legalizer) findSpotIn(in *component.Instance, want geom.Point, skip ma
 // legalizeQubits runs the greedy spiral pass over qubits (densest first:
 // sorted by distance from the layout centroid, centre-out, which keeps
 // displacement low for the congested middle).
-func (lg *legalizer) legalizeQubits(res *Result) {
+func (lg *legalizer) legalizeQubits(res *Result) error {
 	var cx, cy float64
 	for _, qi := range lg.nl.QubitInst {
 		cx += lg.nl.Instances[qi].Pos.X
@@ -360,6 +381,9 @@ func (lg *legalizer) legalizeQubits(res *Result) {
 			lg.nl.Instances[order[b]].Pos.Dist2(centroid)
 	})
 	for _, qi := range order {
+		if err := lg.ctx.Err(); err != nil {
+			return err
+		}
 		in := lg.nl.Instances[qi]
 		spot, ok := lg.findSpot(in, in.Pos, nil)
 		if ok {
@@ -368,6 +392,7 @@ func (lg *legalizer) legalizeQubits(res *Result) {
 		}
 		lg.fix(qi, LegalRect(in))
 	}
+	return nil
 }
 
 // refineQubits reassigns qubits among the greedy-legalized sites with
@@ -375,10 +400,15 @@ func (lg *legalizer) legalizeQubits(res *Result) {
 // minimizing total squared displacement from the global-placement anchors.
 // All qubit cells are identical 1.2 mm squares, so permuting qubits over the
 // occupied sites preserves legality by construction.
-func (lg *legalizer) refineQubits(res *Result, anchors []geom.Point) {
+func (lg *legalizer) refineQubits(res *Result, anchors []geom.Point) error {
 	qubits := lg.nl.QubitInst
 	if len(qubits) < 2 {
-		return
+		return nil
+	}
+	// The min-cost-flow solve is the pass's one indivisible chunk; checking
+	// here bounds the cancellation latency to that solve.
+	if err := lg.ctx.Err(); err != nil {
+		return err
 	}
 	sites := make([]geom.Point, len(qubits))
 	for i, qi := range qubits {
@@ -399,6 +429,7 @@ func (lg *legalizer) refineQubits(res *Result, anchors []geom.Point) {
 		in.Pos = moved
 		lg.fix(qi, LegalRect(in))
 	}
+	return nil
 }
 
 // legalizeSegments runs the Tetris-style pass left to right over whole
@@ -407,7 +438,7 @@ func (lg *legalizer) refineQubits(res *Result, anchors []geom.Point) {
 // placed in chain order, every block anchored near its predecessor's final
 // spot. Contiguity is thereby built in, and the integration stage only has
 // to repair the stragglers squeezed out by congestion.
-func (lg *legalizer) legalizeSegments(res *Result) {
+func (lg *legalizer) legalizeSegments(res *Result) error {
 	order := make([]int, len(lg.nl.Resonators))
 	meanX := make([]float64, len(lg.nl.Resonators))
 	crowd := make([]int, len(lg.nl.Resonators))
@@ -429,6 +460,9 @@ func (lg *legalizer) legalizeSegments(res *Result) {
 		return meanX[order[a]] < meanX[order[b]]
 	})
 	for _, rIdx := range order {
+		if err := lg.ctx.Err(); err != nil {
+			return err
+		}
 		var prev geom.Point
 		havePrev := false
 		for _, sid := range lg.nl.Resonators[rIdx].Segments {
@@ -453,6 +487,7 @@ func (lg *legalizer) legalizeSegments(res *Result) {
 			havePrev = true
 		}
 	}
+	return nil
 }
 
 // clusters partitions a resonator's segments into contiguity clusters
@@ -503,10 +538,13 @@ func (lg *legalizer) clusters(resIdx int) [][]int {
 // cluster, or swapped with foreign segments beside the cluster when the
 // swap keeps both resonators' frequencies non-resonant (the τ check) and
 // does not fragment the donor.
-func (lg *legalizer) integrate(res *Result) {
+func (lg *legalizer) integrate(res *Result) error {
 	for pass := 0; pass < lg.cfg.MaxIntegrationPasses; pass++ {
 		res.BrokenResonators = res.BrokenResonators[:0]
 		for rIdx := range lg.nl.Resonators {
+			if err := lg.ctx.Err(); err != nil {
+				return err
+			}
 			cl := lg.clusters(rIdx)
 			if len(cl) <= 1 {
 				continue
@@ -529,6 +567,7 @@ func (lg *legalizer) integrate(res *Result) {
 	}
 	res.IntegratedAll = len(res.BrokenResonators) == 0
 	sort.Ints(res.BrokenResonators)
+	return nil
 }
 
 // pullIn moves segment sid next to the cluster; returns true on success.
@@ -603,9 +642,9 @@ func (lg *legalizer) pullIn(sid int, cluster []int, res *Result) bool {
 // closer to the centroid, (b) keeps the segment's resonator in one cluster,
 // and (c) stays at least ResonantGuard away from near-resonant segments of
 // other resonators, so compaction never reintroduces hotspots.
-func (lg *legalizer) compact(res *Result) {
+func (lg *legalizer) compact(res *Result) error {
 	if lg.cfg.CompactionPasses <= 0 {
-		return
+		return nil
 	}
 	var cx, cy float64
 	for _, in := range lg.nl.Instances {
@@ -628,6 +667,9 @@ func (lg *legalizer) compact(res *Result) {
 		})
 		movedAny := false
 		for _, sid := range segs {
+			if err := lg.ctx.Err(); err != nil {
+				return err
+			}
 			in := lg.nl.Instances[sid]
 			old := in.Pos
 			target := geom.Point{
@@ -656,6 +698,7 @@ func (lg *legalizer) compact(res *Result) {
 			break
 		}
 	}
+	return nil
 }
 
 // compactionSafe checks the integrity and resonance guards for a segment at

@@ -17,6 +17,7 @@
 package place
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -179,6 +180,13 @@ type engine struct {
 // Place runs global placement on the netlist, mutating instance positions.
 // The collision map may be nil for ModeClassic.
 func Place(nl *component.Netlist, cm *frequency.CollisionMap, cfg Config) (*Result, error) {
+	return PlaceCtx(context.Background(), nl, cm, cfg)
+}
+
+// PlaceCtx is Place with cancellation: the Nesterov loop checks ctx once per
+// iteration and returns ctx.Err() as soon as it fires, leaving the netlist at
+// the positions of the last completed iteration.
+func PlaceCtx(ctx context.Context, nl *component.Netlist, cm *frequency.CollisionMap, cfg Config) (*Result, error) {
 	start := time.Now()
 	if cfg.TargetDensity <= 0 || cfg.TargetDensity > 1.2 {
 		return nil, fmt.Errorf("place: target density %v out of range", cfg.TargetDensity)
@@ -261,6 +269,10 @@ func Place(nl *component.Netlist, cm *frequency.CollisionMap, cfg Config) (*Resu
 	bestOverflow := math.Inf(1)
 	sinceImprove := 0
 	for it := 0; it < cfg.MaxIters; it++ {
+		if err := ctx.Err(); err != nil {
+			nl.SetPositions(opt.X())
+			return nil, err
+		}
 		opt.Step()
 		iters++
 		if cfg.Trace != nil {

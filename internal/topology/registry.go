@@ -1,0 +1,88 @@
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Generator constructs a fresh Device. Generators must return a validated
+// device whose Name matches the name it was registered under; returning a
+// new value per call keeps callers free to treat each device independently.
+type Generator func() *Device
+
+// ErrUnknown is returned (wrapped) by ByName for unregistered names.
+var ErrUnknown = errors.New("topology: unknown device")
+
+// ErrDuplicate is returned (wrapped) by Register when the name is taken.
+var ErrDuplicate = errors.New("topology: duplicate device name")
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Generator{}
+)
+
+// Register adds a device generator under the given name. The six Table I
+// topologies are registered this way at init; callers may add custom
+// topologies at runtime to open scenarios beyond the paper's devices.
+// Registering an empty name, a nil generator, or a taken name fails.
+func Register(name string, gen Generator) error {
+	if name == "" {
+		return fmt.Errorf("topology: register with empty name")
+	}
+	if gen == nil {
+		return fmt.Errorf("topology: register %q with nil generator", name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, ok := registry[name]; ok {
+		return fmt.Errorf("%w %q", ErrDuplicate, name)
+	}
+	registry[name] = gen
+	return nil
+}
+
+// mustRegister registers a built-in generator and panics on conflict.
+func mustRegister(name string, gen Generator) {
+	if err := Register(name, gen); err != nil {
+		panic(err)
+	}
+}
+
+// ByName generates the named device. The error wraps ErrUnknown when no
+// generator is registered under the name.
+func ByName(name string) (*Device, error) {
+	regMu.RLock()
+	gen, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknown, name)
+	}
+	d := gen()
+	if d == nil {
+		return nil, fmt.Errorf("topology: generator for %q returned nil", name)
+	}
+	return d, nil
+}
+
+// Names returns every registered device name, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	mustRegister("grid", Grid25)
+	mustRegister("falcon", Falcon27)
+	mustRegister("eagle", Eagle127)
+	mustRegister("aspen11", Aspen11)
+	mustRegister("aspenm", AspenM)
+	mustRegister("xtree", Xtree53)
+}

@@ -1,0 +1,94 @@
+package topology
+
+import (
+	"errors"
+	"testing"
+
+	"qplacer/internal/geom"
+	"qplacer/internal/graph"
+)
+
+func lineDevice(name string, n int) *Device {
+	g := graph.New(n)
+	coords := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		coords[i] = geom.Point{X: float64(i)}
+		if i+1 < n {
+			g.AddEdge(i, i+1)
+		}
+	}
+	return mustDevice(&Device{
+		Name:        name,
+		Description: "test line",
+		NumQubits:   n,
+		Graph:       g,
+		Coords:      coords,
+	})
+}
+
+func TestRegisterAndByName(t *testing.T) {
+	const name = "registry-test-line5"
+	if err := Register(name, func() *Device { return lineDevice(name, 5) }); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != name || d.NumQubits != 5 {
+		t.Fatalf("ByName returned %s with %d qubits", d.Name, d.NumQubits)
+	}
+	found := false
+	for _, n := range Names() {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v is missing %q", Names(), name)
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	const name = "registry-test-dup"
+	gen := func() *Device { return lineDevice(name, 3) }
+	if err := Register(name, gen); err != nil {
+		t.Fatal(err)
+	}
+	err := Register(name, gen)
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate registration error = %v, want ErrDuplicate", err)
+	}
+	// Built-in names are protected by the same path.
+	if err := Register("grid", gen); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("registering over built-in grid: %v, want ErrDuplicate", err)
+	}
+}
+
+func TestRegisterRejectsInvalid(t *testing.T) {
+	if err := Register("", func() *Device { return lineDevice("x", 2) }); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if err := Register("registry-test-nilgen", nil); err == nil {
+		t.Fatal("nil generator must fail")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	_, err := ByName("registry-test-bogus")
+	if !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown lookup error = %v, want ErrUnknown", err)
+	}
+}
+
+func TestBuiltinsRegistered(t *testing.T) {
+	for _, name := range Builtin() {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatalf("built-in %q: %v", name, err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("built-in %q invalid: %v", name, err)
+		}
+	}
+}

@@ -363,22 +363,8 @@ func All() []*Device {
 	}
 }
 
-// ByName returns the named device ("grid", "falcon", "eagle", "aspen11",
-// "aspenm", "xtree").
-func ByName(name string) (*Device, error) {
-	switch name {
-	case "grid":
-		return Grid25(), nil
-	case "falcon":
-		return Falcon27(), nil
-	case "eagle":
-		return Eagle127(), nil
-	case "aspen11":
-		return Aspen11(), nil
-	case "aspenm":
-		return AspenM(), nil
-	case "xtree":
-		return Xtree53(), nil
-	}
-	return nil, fmt.Errorf("topology: unknown device %q", name)
+// Builtin returns the paper's six device names in Table I order. The
+// registry (see Register) may hold more.
+func Builtin() []string {
+	return []string{"grid", "falcon", "eagle", "aspen11", "aspenm", "xtree"}
 }

@@ -1,0 +1,157 @@
+package qplacer
+
+import (
+	"fmt"
+	"runtime"
+
+	"qplacer/internal/physics"
+)
+
+// Scheme selects the placement strategy of §V-B.
+type Scheme int
+
+const (
+	// SchemeQplacer is the frequency-aware electrostatic engine.
+	SchemeQplacer Scheme = iota
+	// SchemeClassic is the same engine without the frequency force.
+	SchemeClassic
+	// SchemeHuman is the manually optimized IBM-style grid baseline.
+	SchemeHuman
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeQplacer:
+		return "qplacer"
+	case SchemeClassic:
+		return "classic"
+	case SchemeHuman:
+		return "human"
+	}
+	return fmt.Sprintf("scheme(%d)", int(s))
+}
+
+// ParseScheme converts a scheme name ("qplacer", "classic", "human") to its
+// Scheme value. Unknown names wrap ErrUnknownScheme.
+func ParseScheme(name string) (Scheme, error) {
+	switch name {
+	case "qplacer":
+		return SchemeQplacer, nil
+	case "classic":
+		return SchemeClassic, nil
+	case "human":
+		return SchemeHuman, nil
+	}
+	return 0, fmt.Errorf("%w %q", ErrUnknownScheme, name)
+}
+
+// DefaultMappings is the paper's subset-mapping count per evaluation (§VI-A).
+const DefaultMappings = 50
+
+// Options configures a placement run. Zero values select the paper's
+// defaults (§V-C). Options is comparable: the normalized value doubles as
+// the Engine's stage- and plan-cache key.
+type Options struct {
+	Topology string  // any registered topology name (see RegisteredTopologies)
+	Scheme   Scheme  // placement strategy
+	LB       float64 // resonator segment size l_b in mm (default 0.3)
+	DeltaC   float64 // detuning threshold Δc in GHz (default 0.1)
+	Seed     int64   // engine seed (default 1)
+
+	// MaxIters overrides the global-placement iteration cap (0 = default).
+	MaxIters int
+	// SkipLegalize leaves the global placement unlegalized (ablations).
+	SkipLegalize bool
+}
+
+// normalized fills in defaults and validates the scheme, returning the
+// canonical form used as cache key.
+func (o Options) normalized() (Options, error) {
+	if o.Topology == "" {
+		o.Topology = "grid"
+	}
+	if o.LB == 0 {
+		o.LB = 0.3
+	}
+	if o.DeltaC == 0 {
+		o.DeltaC = physics.DetuneThresholdGHz
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxIters < 0 {
+		o.MaxIters = 0
+	}
+	switch o.Scheme {
+	case SchemeQplacer, SchemeClassic, SchemeHuman:
+	default:
+		return o, fmt.Errorf("%w %v", ErrUnknownScheme, o.Scheme)
+	}
+	return o, nil
+}
+
+// settings is the merged engine + per-call configuration that functional
+// options operate on.
+type settings struct {
+	opts    Options
+	workers int
+}
+
+func defaultSettings() settings {
+	return settings{workers: runtime.GOMAXPROCS(0)}
+}
+
+// Option configures an Engine at construction (New) or one call (Plan).
+// Per-call options start from the engine's settings and override them for
+// that call only.
+type Option func(*settings)
+
+// WithTopology selects the device topology by registered name.
+func WithTopology(name string) Option {
+	return func(s *settings) { s.opts.Topology = name }
+}
+
+// WithScheme selects the placement strategy.
+func WithScheme(sch Scheme) Option {
+	return func(s *settings) { s.opts.Scheme = sch }
+}
+
+// WithLB sets the resonator segment size l_b in mm.
+func WithLB(lb float64) Option {
+	return func(s *settings) { s.opts.LB = lb }
+}
+
+// WithDeltaC sets the detuning threshold Δc in GHz.
+func WithDeltaC(deltaC float64) Option {
+	return func(s *settings) { s.opts.DeltaC = deltaC }
+}
+
+// WithSeed sets the deterministic engine seed.
+func WithSeed(seed int64) Option {
+	return func(s *settings) { s.opts.Seed = seed }
+}
+
+// WithMaxIters caps the global-placement iterations (0 restores the default).
+func WithMaxIters(n int) Option {
+	return func(s *settings) { s.opts.MaxIters = n }
+}
+
+// WithSkipLegalize leaves the global placement unlegalized (ablations).
+func WithSkipLegalize(skip bool) Option {
+	return func(s *settings) { s.opts.SkipLegalize = skip }
+}
+
+// WithOptions replaces the whole Options struct at once — the migration
+// bridge from the legacy Plan(Options) call style.
+func WithOptions(o Options) Option {
+	return func(s *settings) { s.opts = o }
+}
+
+// WithWorkers bounds the EvaluateAll worker pool (default GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(s *settings) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}

@@ -14,213 +14,50 @@
 //  5. evaluate: area metrics, frequency hotspots, and program fidelity on
 //     the Table I NISQ benchmarks.
 //
-// Quickstart:
+// The primary entry point is the Engine: a long-lived, concurrency-safe
+// object that caches the immutable pipeline stages (devices, frequency
+// assignments, netlist templates, collision maps, circuits, mappings) keyed
+// by normalized options, threads context cancellation through the placement
+// and legalization hot loops, and batch-evaluates benchmarks over a bounded
+// worker pool:
 //
-//	plan, err := qplacer.Plan(qplacer.Options{Topology: "falcon"})
+//	eng := qplacer.New(qplacer.WithTopology("falcon"))
+//	plan, err := eng.Plan(ctx)
 //	...
-//	eval, err := qplacer.Evaluate(plan, "bv-4", 50)
+//	batch, err := eng.EvaluateAll(ctx, plan, nil, 50)
+//
+// Custom device topologies and benchmark circuits register at runtime via
+// RegisterTopology and RegisterBenchmark; the built-in Table I entries go
+// through the same registries. Failures classify with errors.Is against the
+// package sentinels (ErrUnknownTopology, ErrCancelled, ...).
+//
+// The stateless Plan and Evaluate free functions remain as thin
+// backward-compatible wrappers over a fresh single-use Engine.
 package qplacer
 
 import (
-	"fmt"
-	"io"
-	"time"
-
 	"qplacer/internal/circuit"
-	"qplacer/internal/component"
-	"qplacer/internal/fidelity"
-	"qplacer/internal/frequency"
-	"qplacer/internal/geom"
-	"qplacer/internal/legal"
-	"qplacer/internal/mapper"
-	"qplacer/internal/metrics"
-	"qplacer/internal/physics"
-	"qplacer/internal/place"
-	"qplacer/internal/render"
 	"qplacer/internal/topology"
 )
 
-// Scheme selects the placement strategy of §V-B.
-type Scheme int
-
-const (
-	// SchemeQplacer is the frequency-aware electrostatic engine.
-	SchemeQplacer Scheme = iota
-	// SchemeClassic is the same engine without the frequency force.
-	SchemeClassic
-	// SchemeHuman is the manually optimized IBM-style grid baseline.
-	SchemeHuman
-)
-
-func (s Scheme) String() string {
-	switch s {
-	case SchemeQplacer:
-		return "qplacer"
-	case SchemeClassic:
-		return "classic"
-	case SchemeHuman:
-		return "human"
-	}
-	return fmt.Sprintf("scheme(%d)", int(s))
-}
-
-// Options configures a placement run. Zero values select the paper's
-// defaults (§V-C).
-type Options struct {
-	Topology string  // "grid", "falcon", "eagle", "aspen11", "aspenm", "xtree"
-	Scheme   Scheme  // placement strategy
-	LB       float64 // resonator segment size l_b in mm (default 0.3)
-	DeltaC   float64 // detuning threshold Δc in GHz (default 0.1)
-	Seed     int64   // engine seed (default 1)
-
-	// MaxIters overrides the global-placement iteration cap (0 = default).
-	MaxIters int
-	// SkipLegalize leaves the global placement unlegalized (ablations).
-	SkipLegalize bool
-}
-
-// PlanResult is a placed-and-legalized layout plus its statistics.
-type PlanResult struct {
-	Options   Options
-	Device    *topology.Device
-	Netlist   *component.Netlist
-	Collision *frequency.CollisionMap
-	Region    geom.Rect
-	Metrics   *metrics.Report
-
-	PlaceIterations int
-	PlaceRuntime    time.Duration
-	AvgIterMS       float64
-	NumCells        int
-	Integrated      bool
-}
-
-// Plan runs the full placement pipeline for the options.
+// Plan runs the full placement pipeline for the options on a fresh
+// single-use engine.
+//
+// Deprecated-style note: new code should hold a long-lived Engine and call
+// Engine.Plan, which caches stages across runs and honours cancellation.
 func Plan(opts Options) (*PlanResult, error) {
-	if opts.Topology == "" {
-		opts.Topology = "grid"
-	}
-	if opts.LB == 0 {
-		opts.LB = 0.3
-	}
-	if opts.DeltaC == 0 {
-		opts.DeltaC = physics.DetuneThresholdGHz
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	dev, err := topology.ByName(opts.Topology)
-	if err != nil {
-		return nil, err
-	}
-
-	assign := frequency.Assign(dev, opts.DeltaC)
-	ccfg := component.DefaultConfig()
-	ccfg.SegmentSize = opts.LB
-	nl, err := component.Build(dev, assign.QubitFreq, assign.ResFreq, ccfg)
-	if err != nil {
-		return nil, err
-	}
-	cm := frequency.BuildCollisionMap(nl, opts.DeltaC)
-
-	out := &PlanResult{
-		Options:   opts,
-		Device:    dev,
-		Netlist:   nl,
-		Collision: cm,
-		NumCells:  nl.NumCells(),
-	}
-
-	switch opts.Scheme {
-	case SchemeHuman:
-		start := time.Now()
-		hres := place.PlaceHuman(nl)
-		out.Region = hres.Region
-		out.PlaceRuntime = time.Since(start)
-		out.PlaceIterations = 1
-		out.Integrated = true
-	case SchemeQplacer, SchemeClassic:
-		pcfg := place.DefaultConfig()
-		pcfg.Seed = opts.Seed
-		if opts.MaxIters > 0 {
-			pcfg.MaxIters = opts.MaxIters
-		}
-		if opts.Scheme == SchemeClassic {
-			pcfg.Mode = place.ModeClassic
-		}
-		pres, err := place.Place(nl, cm, pcfg)
-		if err != nil {
-			return nil, err
-		}
-		out.Region = pres.Region
-		out.PlaceIterations = pres.Iterations
-		out.PlaceRuntime = pres.Runtime
-		out.AvgIterMS = pres.AvgIterMS
-		if !opts.SkipLegalize {
-			lcfg := legal.DefaultConfig()
-			// The Classic baseline gets the classical (frequency-oblivious)
-			// legalizer, exactly as it would from its own engine.
-			lcfg.FrequencyAware = opts.Scheme == SchemeQplacer
-			lres, err := legal.Legalize(nl, pres.Region, opts.DeltaC, lcfg)
-			if err != nil {
-				return nil, err
-			}
-			out.Integrated = lres.IntegratedAll
-		}
-	default:
-		return nil, fmt.Errorf("qplacer: unknown scheme %v", opts.Scheme)
-	}
-
-	out.Metrics = metrics.Measure(nl, opts.DeltaC)
-	return out, nil
+	return New().PlanOptions(nil, opts)
 }
 
-// EvalResult is the fidelity evaluation of one benchmark on one layout.
-type EvalResult struct {
-	Benchmark    string
-	NumMappings  int
-	MeanFidelity float64
-	MinFidelity  float64
-	MaxFidelity  float64
-}
-
-// Evaluate estimates program fidelity for a Table I benchmark over
-// nMappings seeded subset mappings (the paper uses 50). The same seed —
-// hence identical mappings — is used regardless of the placement scheme, as
-// the methodology requires.
+// Evaluate estimates program fidelity for a registered benchmark over
+// nMappings seeded subset mappings on a fresh single-use engine. New code
+// should use Engine.Evaluate (or Engine.EvaluateAll for whole suites).
 func Evaluate(plan *PlanResult, benchName string, nMappings int) (*EvalResult, error) {
-	bench, err := circuit.ByName(benchName)
-	if err != nil {
-		return nil, err
-	}
-	if nMappings <= 0 {
-		nMappings = 50
-	}
-	circ := bench.Build()
-	maps, err := mapper.Sample(circ, plan.Device, nMappings, 12345)
-	if err != nil {
-		return nil, err
-	}
-	params := fidelity.DefaultParams()
-	params.DeltaCGHz = plan.Options.DeltaC
-
-	out := &EvalResult{Benchmark: benchName, NumMappings: nMappings}
-	out.MinFidelity = 2
-	for _, m := range maps {
-		f := fidelity.Estimate(plan.Netlist, m, params).F
-		out.MeanFidelity += f
-		if f < out.MinFidelity {
-			out.MinFidelity = f
-		}
-		if f > out.MaxFidelity {
-			out.MaxFidelity = f
-		}
-	}
-	out.MeanFidelity /= float64(nMappings)
-	return out, nil
+	return New().Evaluate(nil, plan, benchName, nMappings)
 }
 
-// Benchmarks lists the Table I benchmark names.
+// Benchmarks lists the paper's Table I benchmark names in evaluation order.
+// RegisteredBenchmarks also includes runtime registrations.
 func Benchmarks() []string {
 	var out []string
 	for _, b := range circuit.TableI() {
@@ -229,17 +66,8 @@ func Benchmarks() []string {
 	return out
 }
 
-// Topologies lists the Table I device names.
+// Topologies lists the paper's Table I device names in evaluation order.
+// RegisteredTopologies also includes runtime registrations.
 func Topologies() []string {
-	return []string{"grid", "falcon", "eagle", "aspen11", "aspenm", "xtree"}
-}
-
-// WriteSVG renders the plan's layout as SVG.
-func (p *PlanResult) WriteSVG(w io.Writer) error {
-	return render.SVG(w, p.Netlist)
-}
-
-// WriteGDS renders the plan's layout as GDS-like text.
-func (p *PlanResult) WriteGDS(w io.Writer) error {
-	return render.GDSText(w, p.Netlist, p.Device.Name)
+	return topology.Builtin()
 }

@@ -1,0 +1,141 @@
+package qplacer
+
+import (
+	"fmt"
+
+	"qplacer/internal/circuit"
+	"qplacer/internal/geom"
+	"qplacer/internal/graph"
+	"qplacer/internal/topology"
+)
+
+// TopologySpec describes a custom device topology for RegisterTopology:
+// a connected coupling graph plus canonical planar coordinates (unit pitch,
+// one distinct point per qubit) used for the initial and Human layouts.
+type TopologySpec struct {
+	Name        string
+	Description string
+	NumQubits   int
+	Edges       [][2]int     // coupling edges over qubit indices
+	Coords      [][2]float64 // canonical {x, y} per qubit
+}
+
+// RegisterTopology makes a custom device topology available to every engine
+// under spec.Name, exactly like the built-in Table I devices. The spec is
+// deep-copied and validated here, then rebuilt per lookup, so the caller may
+// freely reuse its slices afterwards. Duplicate names wrap
+// ErrDuplicateTopology.
+func RegisterTopology(spec TopologySpec) error {
+	spec.Edges = append([][2]int(nil), spec.Edges...)
+	spec.Coords = append([][2]float64(nil), spec.Coords...)
+	if _, err := buildDevice(spec); err != nil {
+		return err
+	}
+	return topology.Register(spec.Name, func() *topology.Device {
+		d, err := buildDevice(spec)
+		if err != nil {
+			panic(err) // validated at registration over the private copy
+		}
+		return d
+	})
+}
+
+func buildDevice(spec TopologySpec) (*topology.Device, error) {
+	if spec.NumQubits <= 0 {
+		return nil, fmt.Errorf("qplacer: topology %q has %d qubits", spec.Name, spec.NumQubits)
+	}
+	if len(spec.Coords) != spec.NumQubits {
+		return nil, fmt.Errorf("qplacer: topology %q has %d coords for %d qubits",
+			spec.Name, len(spec.Coords), spec.NumQubits)
+	}
+	for _, e := range spec.Edges {
+		if e[0] < 0 || e[0] >= spec.NumQubits || e[1] < 0 || e[1] >= spec.NumQubits {
+			return nil, fmt.Errorf("qplacer: topology %q edge %v out of range", spec.Name, e)
+		}
+	}
+	coords := make([]geom.Point, spec.NumQubits)
+	for i, c := range spec.Coords {
+		coords[i] = geom.Point{X: c[0], Y: c[1]}
+	}
+	d := &topology.Device{
+		Name:        spec.Name,
+		Description: spec.Description,
+		NumQubits:   spec.NumQubits,
+		Graph:       graph.FromEdges(spec.NumQubits, spec.Edges),
+		Coords:      coords,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// GateSpec is one operation of a custom benchmark circuit. Supported names
+// follow the fixed-frequency transmon gate set: any single-qubit rotation
+// label with one operand, or a two-qubit gate (e.g. "cz") with two.
+type GateSpec struct {
+	Name   string
+	Qubits []int // 1 or 2 logical qubit indices
+}
+
+// BenchmarkSpec describes a custom benchmark circuit for RegisterBenchmark.
+type BenchmarkSpec struct {
+	Name      string
+	NumQubits int
+	Gates     []GateSpec
+}
+
+// RegisterBenchmark makes a custom benchmark available to every engine under
+// spec.Name, exactly like the built-in Table I workloads. The spec is
+// deep-copied and validated here, so the caller may freely reuse its slices
+// afterwards; duplicate names wrap ErrDuplicateBenchmark.
+func RegisterBenchmark(spec BenchmarkSpec) error {
+	gates := make([]GateSpec, len(spec.Gates))
+	for i, g := range spec.Gates {
+		gates[i] = GateSpec{Name: g.Name, Qubits: append([]int(nil), g.Qubits...)}
+	}
+	spec.Gates = gates
+	if _, err := buildCircuit(spec); err != nil {
+		return err
+	}
+	return circuit.Register(circuit.Benchmark{
+		Name:   spec.Name,
+		Qubits: spec.NumQubits,
+		Build: func() *circuit.Circuit {
+			c, err := buildCircuit(spec)
+			if err != nil {
+				panic(err) // validated at registration over the private copy
+			}
+			return c
+		},
+	})
+}
+
+func buildCircuit(spec BenchmarkSpec) (*circuit.Circuit, error) {
+	if spec.NumQubits < 1 {
+		return nil, fmt.Errorf("qplacer: benchmark %q has %d qubits", spec.Name, spec.NumQubits)
+	}
+	c := &circuit.Circuit{Name: spec.Name, NumQubits: spec.NumQubits}
+	for _, g := range spec.Gates {
+		c.Gates = append(c.Gates, circuit.Gate{
+			Name:   g.Name,
+			Qubits: append([]int(nil), g.Qubits...),
+		})
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// RegisteredTopologies returns every registered topology name, sorted —
+// built-ins plus RegisterTopology additions.
+func RegisteredTopologies() []string {
+	return topology.Names()
+}
+
+// RegisteredBenchmarks returns every registered benchmark name, sorted —
+// built-ins plus RegisterBenchmark additions.
+func RegisteredBenchmarks() []string {
+	return circuit.Names()
+}
