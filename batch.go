@@ -11,23 +11,26 @@ import (
 // BatchResult aggregates a concurrent multi-benchmark evaluation.
 type BatchResult struct {
 	// Results holds one entry per requested benchmark, in input order.
-	Results []*EvalResult
+	Results []*EvalResult `json:"results"`
 	// MeanFidelity is the unweighted mean of the per-benchmark means.
-	MeanFidelity float64
+	MeanFidelity float64 `json:"mean_fidelity"`
 	// MinFidelity and MaxFidelity are the extremes over every mapping of
 	// every benchmark.
-	MinFidelity float64
-	MaxFidelity float64
+	MinFidelity float64 `json:"min_fidelity"`
+	MaxFidelity float64 `json:"max_fidelity"`
 	// TotalMappings counts the mappings evaluated across all benchmarks.
-	TotalMappings int
-	// Elapsed is the wall-clock time of the whole batch.
-	Elapsed time.Duration
+	TotalMappings int `json:"total_mappings"`
+	// Elapsed is the wall-clock time of the whole batch, in nanoseconds on
+	// the wire.
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // EvaluateAll evaluates the plan on several benchmarks concurrently, fanning
 // the per-benchmark work out over a bounded worker pool (WithWorkers; default
 // GOMAXPROCS). A nil or empty benchNames evaluates every registered
-// benchmark. The first failure cancels the remaining work and is returned;
+// benchmark; if that leaves zero benchmarks to run, the result would be
+// degenerate (NaN mean, ±Inf extremes), so ErrNoBenchmarks is returned
+// instead. The first failure cancels the remaining work and is returned;
 // cancellation of ctx surfaces as ErrCancelled.
 func (e *Engine) EvaluateAll(ctx context.Context, plan *PlanResult, benchNames []string, nMappings int) (*BatchResult, error) {
 	if ctx == nil {
@@ -35,6 +38,9 @@ func (e *Engine) EvaluateAll(ctx context.Context, plan *PlanResult, benchNames [
 	}
 	if len(benchNames) == 0 {
 		benchNames = RegisteredBenchmarks()
+	}
+	if len(benchNames) == 0 {
+		return nil, ErrNoBenchmarks
 	}
 	start := time.Now()
 
@@ -103,11 +109,25 @@ func (e *Engine) EvaluateAll(ctx context.Context, plan *PlanResult, benchNames [
 		return nil, firstErr
 	}
 
+	out, err := aggregate(results)
+	if err != nil {
+		return nil, err
+	}
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// aggregate folds per-benchmark evaluations into the batch statistics. An
+// empty result set has no meaningful mean or extremes and returns
+// ErrNoBenchmarks.
+func aggregate(results []*EvalResult) (*BatchResult, error) {
+	if len(results) == 0 {
+		return nil, ErrNoBenchmarks
+	}
 	out := &BatchResult{
 		Results:     results,
 		MinFidelity: math.Inf(1),
 		MaxFidelity: math.Inf(-1),
-		Elapsed:     time.Since(start),
 	}
 	for _, r := range results {
 		out.MeanFidelity += r.MeanFidelity

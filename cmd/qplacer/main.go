@@ -8,10 +8,12 @@
 //	qplacer -topology falcon -scheme qplacer -lb 0.3 -svg layout.svg \
 //	        -gds layout.gds -bench bv-4 -mappings 50
 //	qplacer -topology eagle -bench all        # whole suite, concurrent
+//	qplacer -topology grid -bench all -json   # the service's ResultDocument
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +37,7 @@ func main() {
 		bench    = flag.String("bench", "", "evaluate this benchmark (e.g. bv-4), or 'all' for the whole suite")
 		mappings = flag.Int("mappings", 50, "number of subset mappings for -bench")
 		workers  = flag.Int("workers", 0, "worker-pool size for -bench all (0 = GOMAXPROCS)")
+		asJSON   = flag.Bool("json", false, "emit the run as the same JSON ResultDocument qplacerd serves")
 	)
 	flag.Parse()
 
@@ -57,15 +60,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := plan.Metrics
-	fmt.Printf("topology     %s (%d qubits, %d couplings)\n",
-		plan.Device.Name, plan.Device.NumQubits, plan.Device.NumEdges())
-	fmt.Printf("scheme       %v   cells %d   iters %d   runtime %v\n",
-		sch, plan.NumCells, plan.PlaceIterations, plan.PlaceRuntime.Round(1e6))
-	fmt.Printf("A_mer        %.1f mm²   A_poly %.1f mm²   utilization %.3f\n",
-		m.Amer, m.Apoly, m.Utilization)
-	fmt.Printf("P_h          %.3f %%   violations %d   impacted qubits %d\n",
-		m.Ph, len(m.Violations), len(m.ImpactedQubits))
+	doc := qplacer.ResultDocument{Plan: plan}
 
 	writeLayout := func(path string, render func(*os.File) error) {
 		f, err := os.Create(path)
@@ -78,7 +73,9 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %s\n", path)
+		if !*asJSON {
+			fmt.Printf("wrote %s\n", path)
+		}
 	}
 	if *svgPath != "" {
 		writeLayout(*svgPath, func(f *os.File) error { return plan.WriteSVG(f) })
@@ -94,18 +91,44 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		for _, ev := range batch.Results {
-			fmt.Printf("fidelity     %-10s mean %.4f  min %.4f  max %.4f (%d mappings)\n",
-				ev.Benchmark, ev.MeanFidelity, ev.MinFidelity, ev.MaxFidelity, ev.NumMappings)
-		}
-		fmt.Printf("suite        mean %.4f  min %.4f  max %.4f  (%d mappings in %v)\n",
-			batch.MeanFidelity, batch.MinFidelity, batch.MaxFidelity,
-			batch.TotalMappings, batch.Elapsed.Round(1e6))
+		doc.Batch = batch
 	default:
 		ev, err := eng.Evaluate(ctx, plan, *bench, *mappings)
 		if err != nil {
 			log.Fatal(err)
 		}
+		doc.Evaluation = ev
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	m := plan.Metrics
+	fmt.Printf("topology     %s (%d qubits, %d couplings)\n",
+		plan.Device.Name, plan.Device.NumQubits, plan.Device.NumEdges())
+	fmt.Printf("scheme       %v   cells %d   iters %d   runtime %v\n",
+		sch, plan.NumCells, plan.PlaceIterations, plan.PlaceRuntime.Round(1e6))
+	fmt.Printf("A_mer        %.1f mm²   A_poly %.1f mm²   utilization %.3f\n",
+		m.Amer, m.Apoly, m.Utilization)
+	fmt.Printf("P_h          %.3f %%   violations %d   impacted qubits %d\n",
+		m.Ph, len(m.Violations), len(m.ImpactedQubits))
+	if doc.Batch != nil {
+		for _, ev := range doc.Batch.Results {
+			fmt.Printf("fidelity     %-10s mean %.4f  min %.4f  max %.4f (%d mappings)\n",
+				ev.Benchmark, ev.MeanFidelity, ev.MinFidelity, ev.MaxFidelity, ev.NumMappings)
+		}
+		fmt.Printf("suite        mean %.4f  min %.4f  max %.4f  (%d mappings in %v)\n",
+			doc.Batch.MeanFidelity, doc.Batch.MinFidelity, doc.Batch.MaxFidelity,
+			doc.Batch.TotalMappings, doc.Batch.Elapsed.Round(1e6))
+	}
+	if doc.Evaluation != nil {
+		ev := doc.Evaluation
 		fmt.Printf("fidelity     %s: mean %.4f  min %.4f  max %.4f (%d mappings)\n",
 			ev.Benchmark, ev.MeanFidelity, ev.MinFidelity, ev.MaxFidelity, ev.NumMappings)
 	}

@@ -1,0 +1,79 @@
+// Command qplacerd serves the placement pipeline over HTTP/JSON: submit
+// placement jobs, poll their progress, fetch results, cancel runs, and list
+// the registries. Identical requests share one job via the result cache, and
+// every job shares the engine pool's stage cache.
+//
+// Usage:
+//
+//	qplacerd -addr :8080 -workers 2 -engines 1 -queue 64 -ttl 15m
+//
+//	curl -X POST localhost:8080/v1/plans -d '{"topology":"grid"}'
+//	curl localhost:8080/v1/jobs/job-1
+//	curl localhost:8080/v1/jobs/job-1/result
+//
+// SIGINT/SIGTERM drain gracefully: running jobs finish (up to -drain), then
+// the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"qplacer/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qplacerd: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 2, "jobs executed concurrently")
+		engines = flag.Int("engines", 1, "shared engines in the pool")
+		queue   = flag.Int("queue", 64, "pending-job queue depth")
+		ttl     = flag.Duration("ttl", 15*time.Minute, "finished-job retention (result cache TTL)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		EnginePool: *engines,
+		QueueDepth: *queue,
+		JobTTL:     *ttl,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s (workers=%d engines=%d queue=%d ttl=%v)",
+		ln.Addr(), *workers, *engines, *queue, *ttl)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("%v: draining (budget %v)", s, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+		os.Exit(1)
+	}
+	log.Print("drained")
+}

@@ -251,11 +251,11 @@ func (e *Engine) stage(norm Options) (*stageEntry, error) {
 
 // EvalResult is the fidelity evaluation of one benchmark on one layout.
 type EvalResult struct {
-	Benchmark    string
-	NumMappings  int // mappings actually evaluated
-	MeanFidelity float64
-	MinFidelity  float64
-	MaxFidelity  float64
+	Benchmark    string  `json:"benchmark"`
+	NumMappings  int     `json:"num_mappings"` // mappings actually evaluated
+	MeanFidelity float64 `json:"mean_fidelity"`
+	MinFidelity  float64 `json:"min_fidelity"`
+	MaxFidelity  float64 `json:"max_fidelity"`
 }
 
 // Evaluate estimates program fidelity for a registered benchmark over

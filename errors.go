@@ -31,6 +31,10 @@ var (
 	// ErrNoMappings reports an evaluation whose mapper produced an empty
 	// mapping set, which would otherwise yield degenerate statistics.
 	ErrNoMappings = errors.New("qplacer: no mappings sampled")
+	// ErrNoBenchmarks reports a batch evaluation over zero benchmarks —
+	// nothing requested and nothing registered — which would otherwise
+	// yield NaN means and ±Inf extremes.
+	ErrNoBenchmarks = errors.New("qplacer: no benchmarks to evaluate")
 )
 
 // wrapCancel converts a context error into an ErrCancelled-classified error,

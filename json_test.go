@@ -1,0 +1,158 @@
+package qplacer
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSchemeJSONRoundTrip(t *testing.T) {
+	for _, s := range []Scheme{SchemeQplacer, SchemeClassic, SchemeHuman} {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", s, err)
+		}
+		want := `"` + s.String() + `"`
+		if string(data) != want {
+			t.Fatalf("marshal %v = %s, want %s", s, data, want)
+		}
+		var back Scheme
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if back != s {
+			t.Fatalf("round-trip %v -> %v", s, back)
+		}
+		// The wire form always agrees with ParseScheme.
+		parsed, err := ParseScheme(s.String())
+		if err != nil || parsed != s {
+			t.Fatalf("ParseScheme(%q) = %v, %v", s.String(), parsed, err)
+		}
+	}
+
+	if _, err := json.Marshal(Scheme(99)); err == nil {
+		t.Fatal("marshalling an invalid scheme must fail, not leak an int")
+	}
+	var s Scheme
+	if err := json.Unmarshal([]byte(`"bogus"`), &s); !errors.Is(err, ErrUnknownScheme) {
+		t.Fatalf("unmarshal bogus err = %v, want ErrUnknownScheme", err)
+	}
+	if err := json.Unmarshal([]byte(`1`), &s); !errors.Is(err, ErrUnknownScheme) {
+		t.Fatalf("unmarshal raw int err = %v, want ErrUnknownScheme (string form only)", err)
+	}
+}
+
+func TestOptionsJSONRoundTrip(t *testing.T) {
+	in := Options{Topology: "falcon", Scheme: SchemeClassic, LB: 0.25, DeltaC: 0.08, Seed: 9, MaxIters: 40}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"scheme":"classic"`) {
+		t.Fatalf("options JSON must carry the scheme name, got %s", data)
+	}
+	var back Options
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != in {
+		t.Fatalf("options round-trip: %+v -> %+v", in, back)
+	}
+}
+
+func TestPlanResultAndDocumentJSON(t *testing.T) {
+	ctx := context.Background()
+	eng := New()
+	plan, err := eng.Plan(ctx, fastOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := eng.Evaluate(ctx, plan, "bv-4", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := eng.EvaluateAll(ctx, plan, []string{"bv-4", "ising-4"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := json.Marshal(ResultDocument{Plan: plan, Evaluation: ev, Batch: batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Plan struct {
+			Options Options `json:"options"`
+			Device  struct {
+				Name      string `json:"name"`
+				NumQubits int    `json:"num_qubits"`
+			} `json:"device"`
+			Metrics struct {
+				Amer float64 `json:"amer_mm2"`
+			} `json:"metrics"`
+			Placement []struct {
+				Kind    string  `json:"kind"`
+				FreqGHz float64 `json:"freq_ghz"`
+			} `json:"placement"`
+			NumCells int `json:"num_cells"`
+		} `json:"plan"`
+		Evaluation *EvalResult  `json:"evaluation"`
+		Batch      *BatchResult `json:"batch"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("document does not parse back: %v", err)
+	}
+	if doc.Plan.Device.Name != "grid" || doc.Plan.Device.NumQubits != plan.Device.NumQubits {
+		t.Fatalf("device view wrong: %+v", doc.Plan.Device)
+	}
+	if doc.Plan.Options != plan.Options {
+		t.Fatalf("options view %+v, want %+v", doc.Plan.Options, plan.Options)
+	}
+	if len(doc.Plan.Placement) != plan.NumCells || doc.Plan.NumCells != plan.NumCells {
+		t.Fatalf("placement has %d entries, want %d", len(doc.Plan.Placement), plan.NumCells)
+	}
+	for _, in := range doc.Plan.Placement {
+		if in.Kind != "qubit" && in.Kind != "segment" {
+			t.Fatalf("instance kind %q not stringified", in.Kind)
+		}
+		if in.FreqGHz <= 0 {
+			t.Fatalf("instance frequency missing: %+v", in)
+		}
+	}
+	if doc.Plan.Metrics.Amer != plan.Metrics.Amer {
+		t.Fatalf("metrics view Amer %v, want %v", doc.Plan.Metrics.Amer, plan.Metrics.Amer)
+	}
+	if doc.Evaluation == nil || doc.Evaluation.MeanFidelity != ev.MeanFidelity {
+		t.Fatalf("evaluation round-trip: %+v vs %+v", doc.Evaluation, ev)
+	}
+	if doc.Batch == nil || len(doc.Batch.Results) != 2 ||
+		doc.Batch.MeanFidelity != batch.MeanFidelity ||
+		doc.Batch.Elapsed != batch.Elapsed {
+		t.Fatalf("batch round-trip: %+v vs %+v", doc.Batch, batch)
+	}
+}
+
+func TestOptionsNormalizedPublic(t *testing.T) {
+	norm, err := Options{}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Topology != "grid" || norm.LB != 0.3 || norm.Seed != 1 {
+		t.Fatalf("defaults not filled: %+v", norm)
+	}
+	if _, err := (Options{Scheme: Scheme(42)}).Normalized(); !errors.Is(err, ErrUnknownScheme) {
+		t.Fatalf("err = %v, want ErrUnknownScheme", err)
+	}
+}
+
+func TestAggregateEmptyIsErrNoBenchmarks(t *testing.T) {
+	// The NaN/±Inf degenerate batch of the old code is now a typed error.
+	if _, err := aggregate(nil); !errors.Is(err, ErrNoBenchmarks) {
+		t.Fatalf("aggregate(nil) err = %v, want ErrNoBenchmarks", err)
+	}
+	if _, err := aggregate([]*EvalResult{}); !errors.Is(err, ErrNoBenchmarks) {
+		t.Fatalf("aggregate(empty) err = %v, want ErrNoBenchmarks", err)
+	}
+}

@@ -52,16 +52,23 @@ const DefaultMappings = 50
 // defaults (§V-C). Options is comparable: the normalized value doubles as
 // the Engine's stage- and plan-cache key.
 type Options struct {
-	Topology string  // any registered topology name (see RegisteredTopologies)
-	Scheme   Scheme  // placement strategy
-	LB       float64 // resonator segment size l_b in mm (default 0.3)
-	DeltaC   float64 // detuning threshold Δc in GHz (default 0.1)
-	Seed     int64   // engine seed (default 1)
+	Topology string  `json:"topology"` // any registered topology name (see RegisteredTopologies)
+	Scheme   Scheme  `json:"scheme"`   // placement strategy, as its string name on the wire
+	LB       float64 `json:"lb"`       // resonator segment size l_b in mm (default 0.3)
+	DeltaC   float64 `json:"delta_c"`  // detuning threshold Δc in GHz (default 0.1)
+	Seed     int64   `json:"seed"`     // engine seed (default 1)
 
 	// MaxIters overrides the global-placement iteration cap (0 = default).
-	MaxIters int
+	MaxIters int `json:"max_iters,omitempty"`
 	// SkipLegalize leaves the global placement unlegalized (ablations).
-	SkipLegalize bool
+	SkipLegalize bool `json:"skip_legalize,omitempty"`
+}
+
+// Normalized returns the canonical form of the options — defaults filled in,
+// scheme validated — which the Engine uses as its plan-cache key. Services
+// deduplicating equivalent requests should key on this value.
+func (o Options) Normalized() (Options, error) {
+	return o.normalized()
 }
 
 // normalized fills in defaults and validates the scheme, returning the

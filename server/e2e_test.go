@@ -1,0 +1,97 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"qplacer/server"
+)
+
+// TestEndToEndDaemon exercises the acceptance path against a real TCP
+// listener on an ephemeral port: submit a small grid job over HTTP, poll it
+// to completion, fetch the JSON result, cancel a long-running job mid-run,
+// and observe a repeated identical submit served from the result cache —
+// then shut the daemon down gracefully.
+func TestEndToEndDaemon(t *testing.T) {
+	srv := server.New(server.Config{Workers: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+
+	// Liveness first: the daemon answers before any job exists.
+	var health struct {
+		Status string `json:"status"`
+	}
+	if code := call(t, http.MethodGet, base+"/healthz", "", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Fatalf("healthz: %d %+v", code, health)
+	}
+
+	// Submit a small grid plan job and poll it to completion.
+	var sub server.SubmitResponse
+	if code := call(t, http.MethodPost, base+"/v1/plans", fastBody(100), &sub); code != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", code)
+	}
+	pollJob(t, base, sub.Job.ID, server.StateDone)
+
+	var doc resultDoc
+	if code := call(t, http.MethodGet, base+"/v1/jobs/"+sub.Job.ID+"/result", "", &doc); code != http.StatusOK {
+		t.Fatalf("result status %d, want 200", code)
+	}
+	if doc.Plan.Device.Name != "grid" || len(doc.Plan.Placement) == 0 {
+		t.Fatalf("result missing layout: %+v", doc.Plan)
+	}
+	if doc.Batch == nil || len(doc.Batch.Results) != 1 ||
+		doc.Batch.Results[0].MeanFidelity <= 0 || doc.Batch.Results[0].MeanFidelity > 1 {
+		t.Fatalf("fidelity fields not populated: %+v", doc.Batch)
+	}
+
+	// Cancel a second, long-running job mid-run and observe it report so.
+	var slow server.SubmitResponse
+	if code := call(t, http.MethodPost, base+"/v1/plans", slowBody(101), &slow); code != http.StatusAccepted {
+		t.Fatalf("slow submit status %d", code)
+	}
+	pollJob(t, base, slow.Job.ID, server.StateRunning)
+	if code := call(t, http.MethodDelete, base+"/v1/jobs/"+slow.Job.ID, "", nil); code != http.StatusOK {
+		t.Fatalf("cancel status %d", code)
+	}
+	pollJob(t, base, slow.Job.ID, server.StateCancelled)
+
+	// A repeated identical submit is a cache hit: same job, no re-run.
+	var dup server.SubmitResponse
+	if code := call(t, http.MethodPost, base+"/v1/plans", fastBody(100), &dup); code != http.StatusOK {
+		t.Fatalf("duplicate submit status %d, want 200", code)
+	}
+	if !dup.Cached || dup.Job.ID != sub.Job.ID {
+		t.Fatalf("duplicate submit not cached: %+v", dup)
+	}
+	var stats server.Stats
+	if code := call(t, http.MethodGet, base+"/metrics", "", &stats); code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if stats.CacheHits != 1 || stats.Done != 1 || stats.Cancelled != 1 {
+		t.Fatalf("daemon counters: %+v", stats)
+	}
+
+	// Graceful shutdown: Serve unwinds with ErrServerClosed, jobs drained.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not unwind after Shutdown")
+	}
+}

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"qplacer"
+)
+
+// PlanRequest is the body of POST /v1/plans: engine options (scheme as its
+// string name) plus the evaluation suite. An empty benchmark list selects
+// every registered benchmark; mappings <= 0 selects the paper's default.
+type PlanRequest struct {
+	qplacer.Options
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	Mappings   int      `json:"mappings,omitempty"`
+}
+
+// SubmitResponse is the body returned by POST /v1/plans.
+type SubmitResponse struct {
+	Job JobView `json:"job"`
+	// Cached is true when the submit matched a live job for the same
+	// normalized request and no new work was enqueued.
+	Cached bool `json:"cached"`
+	// Links are the relative URLs for the job's status and result.
+	Links map[string]string `json:"links"`
+}
+
+// errorResponse is the JSON error envelope every non-2xx response uses.
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// statusFor maps pipeline and service errors onto HTTP status codes:
+// unknown names are 404, malformed requests 400, capacity and shutdown 503,
+// cancellation and not-ready conflicts 409.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, qplacer.ErrUnknownTopology),
+		errors.Is(err, qplacer.ErrUnknownBenchmark),
+		errors.Is(err, ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, qplacer.ErrUnknownScheme),
+		errors.Is(err, qplacer.ErrNoBenchmarks):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, qplacer.ErrCancelled), errors.Is(err, ErrJobNotDone):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// codeFor names the error class for machine consumption.
+func codeFor(err error) string {
+	switch {
+	case errors.Is(err, qplacer.ErrUnknownTopology):
+		return "unknown_topology"
+	case errors.Is(err, qplacer.ErrUnknownBenchmark):
+		return "unknown_benchmark"
+	case errors.Is(err, qplacer.ErrUnknownScheme):
+		return "unknown_scheme"
+	case errors.Is(err, qplacer.ErrNoBenchmarks):
+		return "no_benchmarks"
+	case errors.Is(err, qplacer.ErrCancelled):
+		return "cancelled"
+	case errors.Is(err, ErrUnknownJob):
+		return "unknown_job"
+	case errors.Is(err, ErrJobNotDone):
+		return "not_done"
+	case errors.Is(err, ErrQueueFull):
+		return "queue_full"
+	case errors.Is(err, ErrShuttingDown):
+		return "shutting_down"
+	default:
+		return "internal"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already gone; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), errorResponse{Error: err.Error(), Code: codeFor(err)})
+}
+
+func jobLinks(id string) map[string]string {
+	return map[string]string{
+		"status": "/v1/jobs/" + id,
+		"result": "/v1/jobs/" + id + "/result",
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: err.Error(),
+				Code:  "body_too_large",
+			})
+			return
+		}
+		writeError(w, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	var req PlanRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		// Typed decode failures (e.g. an unknown scheme name) keep their
+		// classification; anything else is a plain malformed request.
+		if errors.Is(err, qplacer.ErrUnknownScheme) {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorResponse{
+			Error: fmt.Sprintf("malformed request: %v", err),
+			Code:  "bad_request",
+		})
+		return
+	}
+	view, cached, err := s.mgr.Submit(Request{
+		Options:    req.Options,
+		Benchmarks: req.Benchmarks,
+		Mappings:   req.Mappings,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, SubmitResponse{Job: view, Cached: cached, Links: jobLinks(view.ID)})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, err := s.mgr.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	doc, err := s.mgr.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleTopologies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"topologies": qplacer.RegisteredTopologies(),
+	})
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"benchmarks": qplacer.RegisteredBenchmarks(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ns": s.clock().Sub(s.started),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Stats())
+}

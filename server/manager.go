@@ -1,0 +1,388 @@
+// Package server turns the qplacer Engine into a placement service: an
+// asynchronous job manager fans submitted placement requests out over a pool
+// of shared engines (so the stage cache warms across requests), an in-memory
+// store tracks job lifecycle with TTL eviction, and HTTP/JSON handlers expose
+// submit / poll / result / cancel plus the topology and benchmark registries.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"qplacer"
+)
+
+// Sentinel errors of the service layer; handlers map them onto HTTP status
+// codes alongside the qplacer package sentinels.
+var (
+	// ErrUnknownJob reports a job ID not present in the store (never
+	// submitted, or evicted after its TTL).
+	ErrUnknownJob = errors.New("server: unknown job")
+	// ErrJobNotDone reports a result fetch on a job still queued or running.
+	ErrJobNotDone = errors.New("server: job not done yet")
+	// ErrQueueFull reports a submit rejected because the pending queue is at
+	// capacity.
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrShuttingDown reports a submit during graceful shutdown.
+	ErrShuttingDown = errors.New("server: shutting down")
+)
+
+// Config sizes the job manager.
+type Config struct {
+	// Workers is the number of jobs placed/evaluated concurrently
+	// (default 2).
+	Workers int
+	// EnginePool is the number of shared engines the workers draw from
+	// (default 1: every request shares one stage cache).
+	EnginePool int
+	// QueueDepth bounds the pending-job queue (default 64); submits beyond
+	// it fail with ErrQueueFull.
+	QueueDepth int
+	// JobTTL is how long finished jobs (and their cached results) stay
+	// retrievable (default 15m).
+	JobTTL time.Duration
+	// EngineOptions are forwarded to every engine in the pool.
+	EngineOptions []qplacer.Option
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.EnginePool <= 0 {
+		c.EnginePool = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 15 * time.Minute
+	}
+	return c
+}
+
+// Stats are the service counters served by /metrics.
+type Stats struct {
+	Submitted    uint64  `json:"jobs_submitted"`
+	Queued       int     `json:"jobs_queued"`
+	Running      int     `json:"jobs_running"`
+	Done         uint64  `json:"jobs_done"`
+	Failed       uint64  `json:"jobs_failed"`
+	Cancelled    uint64  `json:"jobs_cancelled"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+// Manager owns the job queue, the engine pool, and the store. It is safe
+// for concurrent use.
+type Manager struct {
+	cfg     Config
+	st      *store
+	queue   chan *Job
+	engines []*qplacer.Engine
+	wg      sync.WaitGroup
+
+	// counters are guarded by st.mu, like all job state.
+	submitted uint64
+	done      uint64
+	failed    uint64
+	cancelled uint64
+	cacheHits uint64
+	closed    bool
+}
+
+// NewManager builds the manager and starts its workers. Call Shutdown to
+// drain them.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:   cfg,
+		st:    newStore(cfg.JobTTL),
+		queue: make(chan *Job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.EnginePool; i++ {
+		m.engines = append(m.engines, qplacer.New(cfg.EngineOptions...))
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		eng := m.engines[w%len(m.engines)]
+		m.wg.Add(1)
+		go m.worker(eng)
+	}
+	return m
+}
+
+// normalize validates the raw request against the registries and fills in
+// defaults, producing the canonical form the cache keys on. Failures wrap
+// the qplacer sentinels so handlers can map them to status codes.
+func normalize(req Request) (Request, error) {
+	opts, err := req.Options.Normalized()
+	if err != nil {
+		return req, err
+	}
+	req.Options = opts
+	if !containsName(qplacer.RegisteredTopologies(), opts.Topology) {
+		return req, fmt.Errorf("%w: %q", qplacer.ErrUnknownTopology, opts.Topology)
+	}
+	if len(req.Benchmarks) == 0 {
+		req.Benchmarks = qplacer.RegisteredBenchmarks()
+	} else {
+		registered := qplacer.RegisteredBenchmarks()
+		for _, b := range req.Benchmarks {
+			if !containsName(registered, b) {
+				return req, fmt.Errorf("%w: %q", qplacer.ErrUnknownBenchmark, b)
+			}
+		}
+		req.Benchmarks = append([]string(nil), req.Benchmarks...)
+	}
+	if len(req.Benchmarks) == 0 {
+		return req, qplacer.ErrNoBenchmarks
+	}
+	if req.Mappings <= 0 {
+		req.Mappings = qplacer.DefaultMappings
+	}
+	return req, nil
+}
+
+func containsName(names []string, want string) bool {
+	i := sort.SearchStrings(names, want)
+	return i < len(names) && names[i] == want
+}
+
+// Submit normalizes and enqueues a placement request. A request whose
+// normalized form matches a live job — queued, running, or done within the
+// TTL — is a cache hit and returns that job instead of re-running the
+// pipeline; cached reports true in that case.
+func (m *Manager) Submit(req Request) (JobView, bool, error) {
+	norm, err := normalize(req)
+	if err != nil {
+		return JobView{}, false, err
+	}
+
+	m.st.mu.Lock()
+	defer m.st.mu.Unlock()
+	m.st.sweep()
+
+	if prior, ok := m.st.byKey[norm.key()]; ok {
+		m.cacheHits++
+		prior.hits++
+		return m.st.view(prior), true, nil
+	}
+	if m.closed {
+		return JobView{}, false, ErrShuttingDown
+	}
+
+	m.st.seq++
+	job := &Job{
+		ID:      fmt.Sprintf("job-%d", m.st.seq),
+		Request: norm,
+		state:   StateQueued,
+		created: m.st.now(),
+		seq:     m.st.seq,
+	}
+	select {
+	case m.queue <- job:
+	default:
+		return JobView{}, false, fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(m.queue))
+	}
+	m.st.jobs[job.ID] = job
+	m.st.byKey[norm.key()] = job
+	m.submitted++
+	return m.st.view(job), false, nil
+}
+
+// Job returns the current snapshot of a job.
+func (m *Manager) Job(id string) (JobView, error) {
+	m.st.mu.Lock()
+	defer m.st.mu.Unlock()
+	m.st.sweep()
+	job, ok := m.st.jobs[id]
+	if !ok {
+		return JobView{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return m.st.view(job), nil
+}
+
+// Result returns the finished job's result document. Unfinished jobs report
+// ErrJobNotDone; failed and cancelled jobs report their terminal error.
+func (m *Manager) Result(id string) (*qplacer.ResultDocument, error) {
+	m.st.mu.Lock()
+	defer m.st.mu.Unlock()
+	job, ok := m.st.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	switch job.state {
+	case StateDone:
+		return job.result, nil
+	case StateFailed, StateCancelled:
+		return nil, job.err
+	default:
+		return nil, fmt.Errorf("%w: %s is %s", ErrJobNotDone, id, job.state)
+	}
+}
+
+// Cancel stops a job: a queued job is cancelled immediately, a running job
+// has its context cancelled and transitions once the engine unwinds, and a
+// finished job is left untouched. The post-cancel snapshot is returned.
+func (m *Manager) Cancel(id string) (JobView, error) {
+	m.st.mu.Lock()
+	defer m.st.mu.Unlock()
+	job, ok := m.st.jobs[id]
+	if !ok {
+		return JobView{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	switch job.state {
+	case StateQueued:
+		job.state = StateCancelled
+		job.err = qplacer.ErrCancelled
+		job.finished = m.st.now()
+		m.cancelled++
+		m.st.dropKey(job)
+	case StateRunning:
+		job.phase = "cancelling"
+		if job.cancel != nil {
+			job.cancel()
+		}
+	}
+	return m.st.view(job), nil
+}
+
+// Stats snapshots the service counters.
+func (m *Manager) Stats() Stats {
+	m.st.mu.Lock()
+	defer m.st.mu.Unlock()
+	queued, running := m.st.counts()
+	s := Stats{
+		Submitted: m.submitted,
+		Queued:    queued,
+		Running:   running,
+		Done:      m.done,
+		Failed:    m.failed,
+		Cancelled: m.cancelled,
+		CacheHits: m.cacheHits,
+	}
+	if total := m.submitted + m.cacheHits; total > 0 {
+		s.CacheHitRate = float64(m.cacheHits) / float64(total)
+	}
+	return s
+}
+
+// Shutdown stops accepting jobs and drains the workers: queued and running
+// jobs run to completion until ctx expires, at which point everything still
+// in flight is cancelled and awaited.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.st.mu.Lock()
+	if m.closed {
+		m.st.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.st.mu.Unlock()
+	close(m.queue)
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+	}
+
+	m.st.mu.Lock()
+	for _, job := range m.st.jobs {
+		switch job.state {
+		case StateRunning:
+			if job.cancel != nil {
+				job.cancel()
+			}
+		case StateQueued: // still in the channel; workers will skip it
+			job.state = StateCancelled
+			job.err = qplacer.ErrCancelled
+			job.finished = m.st.now()
+			m.cancelled++
+			m.st.dropKey(job)
+		}
+	}
+	m.st.mu.Unlock()
+	<-drained
+	return ctx.Err()
+}
+
+// worker drains the queue. After Shutdown closes the queue it finishes the
+// remaining jobs (or their cancellations) and exits.
+func (m *Manager) worker(eng *qplacer.Engine) {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.run(eng, job)
+	}
+}
+
+// run executes one job: plan, then batch-evaluate, publishing phase
+// transitions as it goes.
+func (m *Manager) run(eng *qplacer.Engine, job *Job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	m.st.mu.Lock()
+	if job.state != StateQueued { // cancelled while waiting in the channel
+		m.st.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.phase = "placing"
+	job.started = m.st.now()
+	job.cancel = cancel
+	m.st.mu.Unlock()
+
+	plan, err := eng.PlanOptions(ctx, job.Request.Options)
+	if err != nil {
+		m.finish(job, nil, err)
+		return
+	}
+
+	m.st.mu.Lock()
+	if job.phase != "cancelling" {
+		job.phase = "evaluating"
+	}
+	m.st.mu.Unlock()
+
+	batch, err := eng.EvaluateAll(ctx, plan, job.Request.Benchmarks, job.Request.Mappings)
+	if err != nil {
+		m.finish(job, nil, err)
+		return
+	}
+	m.finish(job, &qplacer.ResultDocument{Plan: plan, Batch: batch}, nil)
+}
+
+// finish publishes the job's terminal state and maintains the result cache:
+// only successful jobs stay cached for dedup.
+func (m *Manager) finish(job *Job, doc *qplacer.ResultDocument, err error) {
+	m.st.mu.Lock()
+	defer m.st.mu.Unlock()
+	job.phase = ""
+	job.finished = m.st.now()
+	job.cancel = nil
+	switch {
+	case err == nil:
+		job.state = StateDone
+		job.result = doc
+		m.done++
+	case errors.Is(err, qplacer.ErrCancelled):
+		job.state = StateCancelled
+		job.err = err
+		m.cancelled++
+		m.st.dropKey(job)
+	default:
+		job.state = StateFailed
+		job.err = err
+		m.failed++
+		m.st.dropKey(job)
+	}
+}

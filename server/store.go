@@ -1,0 +1,190 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"time"
+
+	"qplacer"
+)
+
+// State is the lifecycle stage of a job.
+type State string
+
+const (
+	// StateQueued means the job is waiting for a worker.
+	StateQueued State = "queued"
+	// StateRunning means a worker is placing or evaluating the job.
+	StateRunning State = "running"
+	// StateDone means the job finished and its result is available.
+	StateDone State = "done"
+	// StateFailed means the pipeline returned an error.
+	StateFailed State = "failed"
+	// StateCancelled means the job was cancelled (while queued or mid-run).
+	StateCancelled State = "cancelled"
+)
+
+// terminal reports whether the state is final.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request is a normalized placement job: canonical engine options plus the
+// evaluation suite. Submit normalizes incoming requests into this form, and
+// the result cache keys on it — two requests that normalize identically are
+// one job.
+type Request struct {
+	Options qplacer.Options `json:"options"`
+	// Benchmarks to evaluate, in order. Submit expands an empty list to
+	// every benchmark registered at submission time.
+	Benchmarks []string `json:"benchmarks"`
+	// Mappings per benchmark (Submit defaults it to qplacer.DefaultMappings).
+	Mappings int `json:"mappings"`
+}
+
+// jobKey is the comparable dedup identity of a normalized Request.
+type jobKey struct {
+	opts     qplacer.Options
+	benches  string
+	mappings int
+}
+
+func (r Request) key() jobKey {
+	return jobKey{
+		opts:     r.Options,
+		benches:  strings.Join(r.Benchmarks, "\x1f"),
+		mappings: r.Mappings,
+	}
+}
+
+// Job is one submitted request moving through the manager. All mutable
+// fields are guarded by the owning store's lock.
+type Job struct {
+	ID      string
+	Request Request
+
+	state    State
+	phase    string // "placing" | "evaluating" | "cancelling" while running
+	err      error
+	result   *qplacer.ResultDocument
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	seq      uint64
+	cancel   context.CancelFunc
+	hits     int // duplicate submits served from this job
+}
+
+// JobView is the wire snapshot of a job, safe to marshal after the store
+// lock is released.
+type JobView struct {
+	ID            string     `json:"id"`
+	State         State      `json:"state"`
+	Phase         string     `json:"phase,omitempty"`
+	QueuePosition *int       `json:"queue_position,omitempty"` // 0 = next to run
+	Request       Request    `json:"request"`
+	Error         string     `json:"error,omitempty"`
+	CacheHits     int        `json:"cache_hits"`
+	CreatedAt     time.Time  `json:"created_at"`
+	StartedAt     *time.Time `json:"started_at,omitempty"`
+	FinishedAt    *time.Time `json:"finished_at,omitempty"`
+}
+
+// store is the in-memory job index: jobs by ID plus the result cache keyed
+// by normalized request. Finished jobs are evicted ttl after completion by
+// sweeps that piggyback on every mutating access.
+type store struct {
+	mu    sync.Mutex
+	ttl   time.Duration
+	now   func() time.Time
+	jobs  map[string]*Job
+	byKey map[jobKey]*Job
+	seq   uint64
+}
+
+func newStore(ttl time.Duration) *store {
+	return &store{
+		ttl:   ttl,
+		now:   time.Now,
+		jobs:  map[string]*Job{},
+		byKey: map[jobKey]*Job{},
+	}
+}
+
+// sweep drops finished jobs older than ttl. Caller holds mu.
+func (st *store) sweep() {
+	if st.ttl <= 0 {
+		return
+	}
+	cutoff := st.now().Add(-st.ttl)
+	for id, j := range st.jobs {
+		if j.state.terminal() && j.finished.Before(cutoff) {
+			delete(st.jobs, id)
+			if st.byKey[j.Request.key()] == j {
+				delete(st.byKey, j.Request.key())
+			}
+		}
+	}
+}
+
+// dropKey removes the result-cache entry if it still points at j, so failed
+// or cancelled requests re-run on resubmit. Caller holds mu.
+func (st *store) dropKey(j *Job) {
+	if st.byKey[j.Request.key()] == j {
+		delete(st.byKey, j.Request.key())
+	}
+}
+
+// queuePosition counts queued jobs submitted before j. Caller holds mu.
+func (st *store) queuePosition(j *Job) int {
+	pos := 0
+	for _, other := range st.jobs {
+		if other.state == StateQueued && other.seq < j.seq {
+			pos++
+		}
+	}
+	return pos
+}
+
+// counts returns the number of currently queued and running jobs. Caller
+// holds mu.
+func (st *store) counts() (queued, running int) {
+	for _, j := range st.jobs {
+		switch j.state {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+	}
+	return
+}
+
+// view snapshots j for marshalling. Caller holds mu.
+func (st *store) view(j *Job) JobView {
+	v := JobView{
+		ID:        j.ID,
+		State:     j.state,
+		Phase:     j.phase,
+		Request:   j.Request,
+		CacheHits: j.hits,
+		CreatedAt: j.created,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if j.state == StateQueued {
+		pos := st.queuePosition(j)
+		v.QueuePosition = &pos
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	return v
+}
