@@ -1,0 +1,150 @@
+package qplacer
+
+import (
+	"context"
+
+	"qplacer/internal/anneal"
+	"qplacer/internal/geom"
+	"qplacer/internal/legal"
+	"qplacer/internal/place"
+)
+
+// This file adapts the internal pipeline implementations to the public
+// Placer/Legalizer interfaces and registers them as the built-in backends:
+// the Nesterov electrostatic placer ("nesterov", the default), the
+// simulated-annealing placer ("anneal"), the integration-aware legalizer
+// ("shelf", the default), and the greedy row-scan legalizer ("greedy").
+
+// nesterovPlacer is the frequency-aware electrostatic engine of §IV-C,
+// refactored behind the Placer interface.
+type nesterovPlacer struct{}
+
+func (nesterovPlacer) Name() string { return DefaultPlacerName }
+
+func (nesterovPlacer) Place(ctx context.Context, st *StageState, obs Observer) (*PlaceOutcome, error) {
+	cfg := place.DefaultConfig()
+	cfg.Seed = st.Options.Seed
+	if st.Options.MaxIters > 0 {
+		cfg.MaxIters = st.Options.MaxIters
+	}
+	if st.Options.Scheme == SchemeClassic {
+		cfg.Mode = place.ModeClassic
+	}
+	cfg.Progress = func(iter int, overflow float64) {
+		obs.OnProgress(Progress{
+			Stage: StagePlace, Backend: DefaultPlacerName,
+			Iteration: iter, Objective: overflow,
+		})
+	}
+	res, err := place.PlaceCtx(ctx, st.Netlist, st.Collision, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &PlaceOutcome{
+		Region:     res.Region,
+		Iterations: res.Iterations,
+		Runtime:    res.Runtime,
+		AvgIterMS:  res.AvgIterMS,
+	}, nil
+}
+
+// annealPlacer is the seeded simulated-annealing backend of internal/anneal.
+type annealPlacer struct{}
+
+func (annealPlacer) Name() string { return "anneal" }
+
+func (annealPlacer) Place(ctx context.Context, st *StageState, obs Observer) (*PlaceOutcome, error) {
+	cfg := anneal.DefaultConfig()
+	cfg.Seed = st.Options.Seed
+	if st.Options.MaxIters > 0 {
+		cfg.Sweeps = st.Options.MaxIters
+	}
+	if st.Options.Scheme == SchemeClassic {
+		cfg.FreqWeight = 0 // the crosstalk-oblivious baseline, like ModeClassic
+	}
+	cfg.Progress = func(sweep int, cost float64) {
+		obs.OnProgress(Progress{
+			Stage: StagePlace, Backend: "anneal",
+			Iteration: sweep, Objective: cost,
+		})
+	}
+	res, err := anneal.Place(ctx, st.Netlist, st.Collision, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &PlaceOutcome{
+		Region:     res.Region,
+		Iterations: res.Sweeps,
+		Runtime:    res.Runtime,
+		AvgIterMS:  res.AvgIterMS,
+	}, nil
+}
+
+// legalProgress adapts the legal package's step/total hook to Progress
+// events (completed steps as the iteration, the total as the objective so
+// observers can show a fraction).
+func legalProgress(obs Observer, backend string) func(step, total int) {
+	return func(step, total int) {
+		obs.OnProgress(Progress{
+			Stage: StageLegalize, Backend: backend,
+			Iteration: step, Objective: float64(total),
+		})
+	}
+}
+
+// shelfLegalizer is the integration-aware legalizer of §IV-C2 (greedy spiral
+// + min-cost-flow + Tetris + integration repair) behind the Legalizer
+// interface.
+type shelfLegalizer struct{}
+
+func (shelfLegalizer) Name() string { return DefaultLegalizerName }
+
+func (shelfLegalizer) Legalize(ctx context.Context, st *StageState, region geom.Rect, obs Observer) (*LegalizeOutcome, error) {
+	cfg := legal.DefaultConfig()
+	// The Classic baseline gets the classical (frequency-oblivious)
+	// legalizer, exactly as it would from its own engine.
+	cfg.FrequencyAware = st.Options.Scheme == SchemeQplacer
+	cfg.Progress = legalProgress(obs, DefaultLegalizerName)
+	res, err := legal.LegalizeCtx(ctx, st.Netlist, region, st.Options.DeltaC, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &LegalizeOutcome{
+		IntegratedAll:       res.IntegratedAll,
+		QubitDisplacement:   res.QubitDisplacement,
+		SegmentDisplacement: res.SegmentDisplacement,
+	}, nil
+}
+
+// greedyLegalizer is the greedy row-scan variant of internal/legal.
+type greedyLegalizer struct{}
+
+func (greedyLegalizer) Name() string { return "greedy" }
+
+func (greedyLegalizer) Legalize(ctx context.Context, st *StageState, region geom.Rect, obs Observer) (*LegalizeOutcome, error) {
+	cfg := legal.DefaultConfig()
+	cfg.FrequencyAware = st.Options.Scheme == SchemeQplacer
+	cfg.Progress = legalProgress(obs, "greedy")
+	res, err := legal.RowScanCtx(ctx, st.Netlist, region, st.Options.DeltaC, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &LegalizeOutcome{
+		IntegratedAll:       res.IntegratedAll,
+		QubitDisplacement:   res.QubitDisplacement,
+		SegmentDisplacement: res.SegmentDisplacement,
+	}, nil
+}
+
+func init() {
+	for _, err := range []error{
+		RegisterPlacer(nesterovPlacer{}),
+		RegisterPlacer(annealPlacer{}),
+		RegisterLegalizer(shelfLegalizer{}),
+		RegisterLegalizer(greedyLegalizer{}),
+	} {
+		if err != nil {
+			panic(err)
+		}
+	}
+}

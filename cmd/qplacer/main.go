@@ -9,6 +9,8 @@
 //	        -gds layout.gds -bench bv-4 -mappings 50
 //	qplacer -topology eagle -bench all        # whole suite, concurrent
 //	qplacer -topology grid -bench all -json   # the service's ResultDocument
+//	qplacer -topology grid -placer anneal -legalizer greedy
+//	qplacer -list-backends                    # registered placers/legalizers
 package main
 
 import (
@@ -38,8 +40,17 @@ func main() {
 		mappings = flag.Int("mappings", 50, "number of subset mappings for -bench")
 		workers  = flag.Int("workers", 0, "worker-pool size for -bench all (0 = GOMAXPROCS)")
 		asJSON   = flag.Bool("json", false, "emit the run as the same JSON ResultDocument qplacerd serves")
+		placer   = flag.String("placer", "", "placement backend: "+strings.Join(qplacer.Placers(), "|")+" (default "+qplacer.DefaultPlacerName+")")
+		legalize = flag.String("legalizer", "", "legalization backend: "+strings.Join(qplacer.Legalizers(), "|")+" (default "+qplacer.DefaultLegalizerName+")")
+		listBE   = flag.Bool("list-backends", false, "print registered placer/legalizer backends and exit")
 	)
 	flag.Parse()
+
+	if *listBE {
+		fmt.Printf("placers:    %s\n", strings.Join(qplacer.Placers(), " "))
+		fmt.Printf("legalizers: %s\n", strings.Join(qplacer.Legalizers(), " "))
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -55,6 +66,8 @@ func main() {
 		qplacer.WithLB(*lb),
 		qplacer.WithSeed(*seed),
 		qplacer.WithWorkers(*workers),
+		qplacer.WithPlacer(*placer),
+		qplacer.WithLegalizer(*legalize),
 	)
 	plan, err := eng.Plan(ctx)
 	if err != nil {
@@ -112,8 +125,15 @@ func main() {
 	m := plan.Metrics
 	fmt.Printf("topology     %s (%d qubits, %d couplings)\n",
 		plan.Device.Name, plan.Device.NumQubits, plan.Device.NumEdges())
-	fmt.Printf("scheme       %v   cells %d   iters %d   runtime %v\n",
-		sch, plan.NumCells, plan.PlaceIterations, plan.PlaceRuntime.Round(1e6))
+	if sch == qplacer.SchemeHuman {
+		// The manual baseline bypasses the placer/legalizer backends.
+		fmt.Printf("scheme       %v\n", sch)
+	} else {
+		fmt.Printf("scheme       %v   placer %s   legalizer %s\n",
+			sch, plan.Options.Placer, plan.Options.Legalizer)
+	}
+	fmt.Printf("cells        %d   iters %d   runtime %v\n",
+		plan.NumCells, plan.PlaceIterations, plan.PlaceRuntime.Round(1e6))
 	fmt.Printf("A_mer        %.1f mm²   A_poly %.1f mm²   utilization %.3f\n",
 		m.Amer, m.Apoly, m.Utilization)
 	fmt.Printf("P_h          %.3f %%   violations %d   impacted qubits %d\n",

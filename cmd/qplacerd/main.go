@@ -24,9 +24,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"qplacer"
 	"qplacer/server"
 )
 
@@ -40,14 +42,33 @@ func main() {
 		queue   = flag.Int("queue", 64, "pending-job queue depth")
 		ttl     = flag.Duration("ttl", 15*time.Minute, "finished-job retention (result cache TTL)")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+		placer  = flag.String("placer", "", "default placement backend for requests that leave it unset: "+
+			strings.Join(qplacer.Placers(), "|"))
+		legalize = flag.String("legalizer", "", "default legalization backend for requests that leave it unset: "+
+			strings.Join(qplacer.Legalizers(), "|"))
 	)
 	flag.Parse()
 
+	// Fail fast on a misconfigured backend default: without this check the
+	// daemon would boot cleanly and then 400 every request that relies on it.
+	if *placer != "" {
+		if _, err := qplacer.PlacerByName(*placer); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *legalize != "" {
+		if _, err := qplacer.LegalizerByName(*legalize); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	srv := server.New(server.Config{
-		Workers:    *workers,
-		EnginePool: *engines,
-		QueueDepth: *queue,
-		JobTTL:     *ttl,
+		Workers:          *workers,
+		EnginePool:       *engines,
+		QueueDepth:       *queue,
+		JobTTL:           *ttl,
+		DefaultPlacer:    *placer,
+		DefaultLegalizer: *legalize,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -13,7 +13,6 @@ import (
 	"qplacer/internal/fidelity"
 	"qplacer/internal/frequency"
 	"qplacer/internal/geom"
-	"qplacer/internal/legal"
 	"qplacer/internal/mapper"
 	"qplacer/internal/metrics"
 	"qplacer/internal/place"
@@ -112,20 +111,29 @@ func (p *PlanResult) WriteGDS(w io.Writer) error {
 // Plan runs the placement pipeline for the engine's options merged with the
 // per-call overrides. Identical normalized options return the cached plan;
 // cancellation of ctx surfaces as ErrCancelled within one placement
-// iteration.
+// iteration. Progress streams to the observer from WithObserver (per-call
+// or engine-wide), if any.
 func (e *Engine) Plan(ctx context.Context, opts ...Option) (*PlanResult, error) {
 	s := e.settings
 	for _, o := range opts {
 		o(&s)
 	}
-	return e.PlanOptions(ctx, s.opts)
+	return e.planWith(ctx, s.opts, s.observer)
 }
 
 // PlanOptions is Plan taking the options as a struct — the migration path
-// from the legacy free function.
+// from the legacy free function. It streams progress to the engine-wide
+// observer, if one was configured at New.
 func (e *Engine) PlanOptions(ctx context.Context, opts Options) (*PlanResult, error) {
+	return e.planWith(ctx, opts, e.settings.observer)
+}
+
+func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer) (*PlanResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if obs == nil {
+		obs = nopObserver{}
 	}
 	norm, err := opts.normalized()
 	if err != nil {
@@ -155,6 +163,8 @@ func (e *Engine) PlanOptions(ctx context.Context, opts Options) (*PlanResult, er
 
 	switch norm.Scheme {
 	case SchemeHuman:
+		// The manual baseline is a deterministic construction, not an
+		// optimization — it bypasses the placer/legalizer backends.
 		start := time.Now()
 		hres := place.PlaceHuman(nl)
 		out.Region = hres.Region
@@ -162,15 +172,17 @@ func (e *Engine) PlanOptions(ctx context.Context, opts Options) (*PlanResult, er
 		out.PlaceIterations = 1
 		out.Integrated = true
 	case SchemeQplacer, SchemeClassic:
-		pcfg := place.DefaultConfig()
-		pcfg.Seed = norm.Seed
-		if norm.MaxIters > 0 {
-			pcfg.MaxIters = norm.MaxIters
+		state := &StageState{
+			Options:   norm,
+			Device:    st.device,
+			Netlist:   nl,
+			Collision: st.collision,
 		}
-		if norm.Scheme == SchemeClassic {
-			pcfg.Mode = place.ModeClassic
+		placer, err := PlacerByName(norm.Placer)
+		if err != nil {
+			return nil, err
 		}
-		pres, err := place.PlaceCtx(ctx, nl, st.collision, pcfg)
+		pres, err := placer.Place(ctx, state, obs)
 		if err != nil {
 			return nil, wrapCancel(err)
 		}
@@ -179,11 +191,11 @@ func (e *Engine) PlanOptions(ctx context.Context, opts Options) (*PlanResult, er
 		out.PlaceRuntime = pres.Runtime
 		out.AvgIterMS = pres.AvgIterMS
 		if !norm.SkipLegalize {
-			lcfg := legal.DefaultConfig()
-			// The Classic baseline gets the classical (frequency-oblivious)
-			// legalizer, exactly as it would from its own engine.
-			lcfg.FrequencyAware = norm.Scheme == SchemeQplacer
-			lres, err := legal.LegalizeCtx(ctx, nl, pres.Region, norm.DeltaC, lcfg)
+			legalizer, err := LegalizerByName(norm.Legalizer)
+			if err != nil {
+				return nil, err
+			}
+			lres, err := legalizer.Legalize(ctx, state, pres.Region, obs)
 			if err != nil {
 				return nil, wrapCancel(err)
 			}

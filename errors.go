@@ -24,6 +24,16 @@ var (
 	ErrDuplicateBenchmark = circuit.ErrDuplicate
 	// ErrUnknownScheme reports a Scheme value outside the three strategies.
 	ErrUnknownScheme = errors.New("qplacer: unknown scheme")
+	// ErrUnknownPlacer reports a placement-backend name with no registered
+	// implementation (see RegisterPlacer).
+	ErrUnknownPlacer = errors.New("qplacer: unknown placer backend")
+	// ErrUnknownLegalizer reports a legalization-backend name with no
+	// registered implementation (see RegisterLegalizer).
+	ErrUnknownLegalizer = errors.New("qplacer: unknown legalizer backend")
+	// ErrDuplicatePlacer reports a placer registration under a taken name.
+	ErrDuplicatePlacer = errors.New("qplacer: duplicate placer backend")
+	// ErrDuplicateLegalizer reports a legalizer registration under a taken name.
+	ErrDuplicateLegalizer = errors.New("qplacer: duplicate legalizer backend")
 	// ErrCancelled reports a run stopped by its context. The wrapped error
 	// also satisfies errors.Is against context.Canceled or
 	// context.DeadlineExceeded, whichever fired.

@@ -42,6 +42,11 @@ type Config struct {
 	// baseline uses the same machinery with the guards off, like the
 	// classical engine's own legalizer.
 	FrequencyAware bool
+
+	// Progress, when non-nil, is called as legalization advances: LegalizeCtx
+	// reports completed passes (step out of total), RowScanCtx completed
+	// placement units. It must be fast and non-blocking.
+	Progress func(step, total int)
 }
 
 // DefaultConfig returns production settings.
@@ -111,28 +116,53 @@ const (
 	segGuard   = 0.65
 )
 
+// guardFor returns the isolation distance for an instance kind.
+func guardFor(k component.Kind) float64 {
+	if k == component.KindQubit {
+		return qubitGuard
+	}
+	return segGuard
+}
+
+// guardedApart reports whether centres a and b keep the guard distance.
+// Chebyshev metric: padded boxes overlap when BOTH axis offsets are below
+// the padded size, so the guard must bound the larger axis offset, not the
+// Euclidean distance (diagonal pairs would otherwise slip through and still
+// overlap).
+func guardedApart(a, b geom.Point, guard float64) bool {
+	return math.Max(math.Abs(a.X-b.X), math.Abs(a.Y-b.Y)) >= guard
+}
+
 func (lg *legalizer) setup() {
-	n := len(lg.nl.Instances)
-	lg.partners = make([][]int, n)
+	lg.partners = buildPartners(lg.nl, lg.deltaC)
+	lg.cell = 1.0
+	lg.buckets = make(map[[2]int][]int)
+}
+
+// buildPartners rebuilds the collision map as an adjacency list:
+// partners[i] holds the near-resonant same-kind instances of i (excluding
+// same-resonator segment pairs, which are one physical wire).
+func buildPartners(nl *component.Netlist, deltaC float64) [][]int {
+	n := len(nl.Instances)
+	partners := make([][]int, n)
 	for i := 0; i < n; i++ {
-		a := lg.nl.Instances[i]
+		a := nl.Instances[i]
 		for j := i + 1; j < n; j++ {
-			b := lg.nl.Instances[j]
+			b := nl.Instances[j]
 			if a.Kind != b.Kind {
 				continue
 			}
 			if a.Kind == component.KindSegment && a.Resonator == b.Resonator {
 				continue
 			}
-			if !frequency.Resonant(a.FreqGHz, b.FreqGHz, lg.deltaC) {
+			if !frequency.Resonant(a.FreqGHz, b.FreqGHz, deltaC) {
 				continue
 			}
-			lg.partners[i] = append(lg.partners[i], j)
-			lg.partners[j] = append(lg.partners[j], i)
+			partners[i] = append(partners[i], j)
+			partners[j] = append(partners[j], i)
 		}
 	}
-	lg.cell = 1.0
-	lg.buckets = make(map[[2]int][]int)
+	return partners
 }
 
 func (lg *legalizer) bucketRange(r geom.Rect) (x0, y0, x1, y1 int) {
@@ -208,20 +238,20 @@ func LegalizeCtx(ctx context.Context, nl *component.Netlist, region geom.Rect, d
 		anchors[i] = nl.Instances[qi].Pos
 	}
 
-	if err := lg.legalizeQubits(res); err != nil {
-		return nil, err
+	passes := []func() error{
+		func() error { return lg.legalizeQubits(res) },
+		func() error { return lg.refineQubits(res, anchors) },
+		func() error { return lg.legalizeSegments(res) },
+		func() error { return lg.integrate(res) },
+		func() error { return lg.compact(res) },
 	}
-	if err := lg.refineQubits(res, anchors); err != nil {
-		return nil, err
-	}
-	if err := lg.legalizeSegments(res); err != nil {
-		return nil, err
-	}
-	if err := lg.integrate(res); err != nil {
-		return nil, err
-	}
-	if err := lg.compact(res); err != nil {
-		return nil, err
+	for i, pass := range passes {
+		if err := pass(); err != nil {
+			return nil, err
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(i+1, len(passes))
+		}
 	}
 	return res, nil
 }
@@ -276,22 +306,12 @@ func (lg *legalizer) guardOK(in *component.Instance, c geom.Point) bool {
 	if !lg.cfg.FrequencyAware {
 		return true
 	}
-	guard := segGuard
-	if in.Kind == component.KindQubit {
-		guard = qubitGuard
-	}
+	guard := guardFor(in.Kind)
 	for _, pid := range lg.partners[in.ID] {
 		if _, placed := lg.byInst[pid]; !placed {
 			continue
 		}
-		// Chebyshev distance: padded boxes overlap when BOTH axis offsets
-		// are below the padded size, so the guard must bound the larger
-		// axis offset, not the Euclidean distance (diagonal pairs would
-		// otherwise slip through and still overlap).
-		p := lg.nl.Instances[pid].Pos
-		dx := math.Abs(p.X - c.X)
-		dy := math.Abs(p.Y - c.Y)
-		if math.Max(dx, dy) < guard {
+		if !guardedApart(lg.nl.Instances[pid].Pos, c, guard) {
 			return false
 		}
 	}
@@ -493,7 +513,14 @@ func (lg *legalizer) legalizeSegments(res *Result) error {
 // clusters partitions a resonator's segments into contiguity clusters
 // (edge-to-edge gap ≤ ClusterGap), largest first.
 func (lg *legalizer) clusters(resIdx int) [][]int {
-	segs := lg.nl.Resonators[resIdx].Segments
+	return ResonatorClusters(lg.nl, resIdx, lg.cfg.ClusterGap)
+}
+
+// ResonatorClusters partitions a resonator's segments into contiguity
+// clusters (edge-to-edge legal-rect gap ≤ gap), largest cluster first. One
+// cluster means the resonator is integrated.
+func ResonatorClusters(nl *component.Netlist, resIdx int, gap float64) [][]int {
+	segs := nl.Resonators[resIdx].Segments
 	parent := make(map[int]int, len(segs))
 	var find func(int) int
 	find = func(x int) int {
@@ -506,10 +533,10 @@ func (lg *legalizer) clusters(resIdx int) [][]int {
 		parent[s] = s
 	}
 	for i := 0; i < len(segs); i++ {
-		ri := LegalRect(lg.nl.Instances[segs[i]])
+		ri := LegalRect(nl.Instances[segs[i]])
 		for j := i + 1; j < len(segs); j++ {
-			rj := LegalRect(lg.nl.Instances[segs[j]])
-			if ri.Gap(rj) <= lg.cfg.ClusterGap {
+			rj := LegalRect(nl.Instances[segs[j]])
+			if ri.Gap(rj) <= gap {
 				parent[find(segs[i])] = find(segs[j])
 			}
 		}

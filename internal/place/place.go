@@ -84,8 +84,15 @@ type Config struct {
 	// Seed drives the deterministic initial-placement jitter.
 	Seed int64
 
-	// Trace, when non-nil, receives per-iteration diagnostics.
+	// Trace, when non-nil, receives per-iteration diagnostics. Enabling it
+	// costs an extra gradient evaluation per iteration.
 	Trace func(TraceEvent)
+
+	// Progress, when non-nil, is called once per completed iteration with
+	// the 1-based iteration count and the current density overflow. It rides
+	// on values the loop computes anyway, so unlike Trace it adds no work;
+	// it must be fast and non-blocking.
+	Progress func(iter int, overflow float64)
 }
 
 // TraceEvent is one iteration's diagnostics for Config.Trace.
@@ -307,6 +314,9 @@ func PlaceCtx(ctx context.Context, nl *component.Netlist, cm *frequency.Collisio
 		e.evalComponents(opt.X())
 		renorm()
 		opt.InvalidateGradient()
+		if cfg.Progress != nil {
+			cfg.Progress(iters, e.overflow)
+		}
 
 		if e.overflow < bestOverflow*0.99 {
 			bestOverflow = e.overflow

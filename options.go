@@ -59,9 +59,18 @@ type Options struct {
 	Seed     int64   `json:"seed"`     // engine seed (default 1)
 
 	// MaxIters overrides the global-placement iteration cap (0 = default).
+	// The gradient placer reads it as Nesterov iterations; the annealing
+	// placer as sweeps.
 	MaxIters int `json:"max_iters,omitempty"`
 	// SkipLegalize leaves the global placement unlegalized (ablations).
 	SkipLegalize bool `json:"skip_legalize,omitempty"`
+
+	// Placer selects the global-placement backend by registered name
+	// ("" resolves to DefaultPlacerName; see Placers).
+	Placer string `json:"placer,omitempty"`
+	// Legalizer selects the legalization backend by registered name
+	// ("" resolves to DefaultLegalizerName; see Legalizers).
+	Legalizer string `json:"legalizer,omitempty"`
 }
 
 // Normalized returns the canonical form of the options — defaults filled in,
@@ -94,14 +103,27 @@ func (o Options) normalized() (Options, error) {
 	default:
 		return o, fmt.Errorf("%w %v", ErrUnknownScheme, o.Scheme)
 	}
+	if o.Placer == "" {
+		o.Placer = DefaultPlacerName
+	}
+	if _, err := PlacerByName(o.Placer); err != nil {
+		return o, err
+	}
+	if o.Legalizer == "" {
+		o.Legalizer = DefaultLegalizerName
+	}
+	if _, err := LegalizerByName(o.Legalizer); err != nil {
+		return o, err
+	}
 	return o, nil
 }
 
 // settings is the merged engine + per-call configuration that functional
 // options operate on.
 type settings struct {
-	opts    Options
-	workers int
+	opts     Options
+	workers  int
+	observer Observer
 }
 
 func defaultSettings() settings {
@@ -146,6 +168,26 @@ func WithMaxIters(n int) Option {
 // WithSkipLegalize leaves the global placement unlegalized (ablations).
 func WithSkipLegalize(skip bool) Option {
 	return func(s *settings) { s.opts.SkipLegalize = skip }
+}
+
+// WithPlacer selects the global-placement backend by registered name
+// (see Placers; "" restores the default).
+func WithPlacer(name string) Option {
+	return func(s *settings) { s.opts.Placer = name }
+}
+
+// WithLegalizer selects the legalization backend by registered name
+// (see Legalizers; "" restores the default).
+func WithLegalizer(name string) Option {
+	return func(s *settings) { s.opts.Legalizer = name }
+}
+
+// WithObserver streams Progress events from the run's backends to obs. As an
+// engine option it observes every plan; as a per-call option it observes that
+// call only. Warm plan-cache hits complete without events (no stage runs).
+// nil removes the observer.
+func WithObserver(obs Observer) Option {
+	return func(s *settings) { s.observer = obs }
 }
 
 // WithOptions replaces the whole Options struct at once — the migration

@@ -45,6 +45,8 @@ func statusFor(err error) int {
 		errors.Is(err, ErrUnknownJob):
 		return http.StatusNotFound
 	case errors.Is(err, qplacer.ErrUnknownScheme),
+		errors.Is(err, qplacer.ErrUnknownPlacer),
+		errors.Is(err, qplacer.ErrUnknownLegalizer),
 		errors.Is(err, qplacer.ErrNoBenchmarks):
 		return http.StatusBadRequest
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
@@ -65,6 +67,10 @@ func codeFor(err error) string {
 		return "unknown_benchmark"
 	case errors.Is(err, qplacer.ErrUnknownScheme):
 		return "unknown_scheme"
+	case errors.Is(err, qplacer.ErrUnknownPlacer):
+		return "unknown_placer"
+	case errors.Is(err, qplacer.ErrUnknownLegalizer):
+		return "unknown_legalizer"
 	case errors.Is(err, qplacer.ErrNoBenchmarks):
 		return "no_benchmarks"
 	case errors.Is(err, qplacer.ErrCancelled):
@@ -181,6 +187,18 @@ func (s *Server) handleTopologies(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{
 		"benchmarks": qplacer.RegisteredBenchmarks(),
+	})
+}
+
+func (s *Server) handlePlacers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"placers": qplacer.Placers(),
+	})
+}
+
+func (s *Server) handleLegalizers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"legalizers": qplacer.Legalizers(),
 	})
 }
 

@@ -47,6 +47,11 @@ type Config struct {
 	JobTTL time.Duration
 	// EngineOptions are forwarded to every engine in the pool.
 	EngineOptions []qplacer.Option
+	// DefaultPlacer and DefaultLegalizer fill requests that leave the
+	// backend unset, before normalization ("" keeps the package defaults,
+	// "nesterov"/"shelf"). Requests naming a backend explicitly win.
+	DefaultPlacer    string
+	DefaultLegalizer string
 }
 
 func (c Config) withDefaults() Config {
@@ -116,9 +121,17 @@ func NewManager(cfg Config) *Manager {
 }
 
 // normalize validates the raw request against the registries and fills in
-// defaults, producing the canonical form the cache keys on. Failures wrap
-// the qplacer sentinels so handlers can map them to status codes.
-func normalize(req Request) (Request, error) {
+// defaults — the manager's configured backend defaults first, then the
+// package normalization — producing the canonical form the cache keys on.
+// Failures wrap the qplacer sentinels so handlers can map them to status
+// codes.
+func (m *Manager) normalize(req Request) (Request, error) {
+	if req.Options.Placer == "" {
+		req.Options.Placer = m.cfg.DefaultPlacer
+	}
+	if req.Options.Legalizer == "" {
+		req.Options.Legalizer = m.cfg.DefaultLegalizer
+	}
 	opts, err := req.Options.Normalized()
 	if err != nil {
 		return req, err
@@ -157,7 +170,7 @@ func containsName(names []string, want string) bool {
 // TTL — is a cache hit and returns that job instead of re-running the
 // pipeline; cached reports true in that case.
 func (m *Manager) Submit(req Request) (JobView, bool, error) {
-	norm, err := normalize(req)
+	norm, err := m.normalize(req)
 	if err != nil {
 		return JobView{}, false, err
 	}
@@ -341,7 +354,23 @@ func (m *Manager) run(eng *qplacer.Engine, job *Job) {
 	job.cancel = cancel
 	m.st.mu.Unlock()
 
-	plan, err := eng.PlanOptions(ctx, job.Request.Options)
+	// Stream backend progress into the job so GET /v1/jobs/{id} shows a
+	// long run's stage, iteration, and objective mid-flight. The callback
+	// fires from the engine's hot loop, so it only copies a small struct
+	// under the store lock.
+	obs := qplacer.ObserverFunc(func(p qplacer.Progress) {
+		m.st.mu.Lock()
+		if job.state == StateRunning {
+			job.progress = &ProgressView{
+				Stage:     string(p.Stage),
+				Backend:   p.Backend,
+				Iteration: p.Iteration,
+				Objective: p.Objective,
+			}
+		}
+		m.st.mu.Unlock()
+	})
+	plan, err := eng.Plan(ctx, qplacer.WithOptions(job.Request.Options), qplacer.WithObserver(obs))
 	if err != nil {
 		m.finish(job, nil, err)
 		return
@@ -367,6 +396,7 @@ func (m *Manager) finish(job *Job, doc *qplacer.ResultDocument, err error) {
 	m.st.mu.Lock()
 	defer m.st.mu.Unlock()
 	job.phase = ""
+	job.progress = nil
 	job.finished = m.st.now()
 	job.cancel = nil
 	switch {

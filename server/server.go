@@ -10,11 +10,13 @@ import (
 // Server wires the job manager to its HTTP surface.
 //
 //	POST   /v1/plans            submit a placement job
-//	GET    /v1/jobs/{id}        poll status, progress, queue position
+//	GET    /v1/jobs/{id}        poll status, live progress, queue position
 //	GET    /v1/jobs/{id}/result fetch the ResultDocument of a done job
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/topologies       registered device topologies
 //	GET    /v1/benchmarks       registered benchmark circuits
+//	GET    /v1/placers          registered placement backends
+//	GET    /v1/legalizers       registered legalization backends
 //	GET    /healthz             liveness
 //	GET    /metrics             JSON service counters
 type Server struct {
@@ -42,6 +44,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /v1/placers", s.handlePlacers)
+	s.mux.HandleFunc("GET /v1/legalizers", s.handleLegalizers)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s

@@ -170,6 +170,8 @@ func TestSubmitValidation(t *testing.T) {
 		{"unknown benchmark", `{"topology":"grid","benchmarks":["nope-3"]}`, http.StatusNotFound, "unknown_benchmark"},
 		{"unknown scheme", `{"topology":"grid","scheme":"quantum"}`, http.StatusBadRequest, "unknown_scheme"},
 		{"scheme as int", `{"topology":"grid","scheme":1}`, http.StatusBadRequest, "unknown_scheme"},
+		{"unknown placer", `{"topology":"grid","placer":"ouija"}`, http.StatusBadRequest, "unknown_placer"},
+		{"unknown legalizer", `{"topology":"grid","legalizer":"ouija"}`, http.StatusBadRequest, "unknown_legalizer"},
 		{"malformed JSON", `{"topology":`, http.StatusBadRequest, "bad_request"},
 	}
 	for _, tc := range cases {
@@ -326,6 +328,137 @@ func contains(names []string, want string) bool {
 		}
 	}
 	return false
+}
+
+func TestBackendRegistryEndpoints(t *testing.T) {
+	ts := newTS(t, server.Config{})
+
+	var placers struct {
+		Placers []string `json:"placers"`
+	}
+	if code := call(t, http.MethodGet, ts.URL+"/v1/placers", "", &placers); code != http.StatusOK {
+		t.Fatalf("placers status %d", code)
+	}
+	if !contains(placers.Placers, "nesterov") || !contains(placers.Placers, "anneal") {
+		t.Fatalf("placers missing built-ins: %v", placers.Placers)
+	}
+	var legalizers struct {
+		Legalizers []string `json:"legalizers"`
+	}
+	if code := call(t, http.MethodGet, ts.URL+"/v1/legalizers", "", &legalizers); code != http.StatusOK {
+		t.Fatalf("legalizers status %d", code)
+	}
+	if !contains(legalizers.Legalizers, "shelf") || !contains(legalizers.Legalizers, "greedy") {
+		t.Fatalf("legalizers missing built-ins: %v", legalizers.Legalizers)
+	}
+}
+
+// TestJobProgressVisibleMidRun submits the slow eagle job and asserts the
+// status endpoint exposes a live progress block — stage, backend, iteration —
+// while the job runs, then cancels it.
+func TestJobProgressVisibleMidRun(t *testing.T) {
+	ts := newTS(t, server.Config{Workers: 1})
+
+	var sub server.SubmitResponse
+	if code := call(t, http.MethodPost, ts.URL+"/v1/plans", slowBody(41), &sub); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	pollJob(t, ts.URL, sub.Job.ID, server.StateRunning)
+
+	deadline := time.Now().Add(90 * time.Second)
+	var view server.JobView
+	for {
+		if code := call(t, http.MethodGet, ts.URL+"/v1/jobs/"+sub.Job.ID, "", &view); code != http.StatusOK {
+			t.Fatalf("poll status %d", code)
+		}
+		if view.State != server.StateRunning {
+			t.Fatalf("job left running state early: %+v", view)
+		}
+		if view.Progress != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no progress reported while running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if view.Progress.Stage != "place" || view.Progress.Backend != "nesterov" ||
+		view.Progress.Iteration < 1 {
+		t.Fatalf("degenerate progress: %+v", view.Progress)
+	}
+
+	call(t, http.MethodDelete, ts.URL+"/v1/jobs/"+sub.Job.ID, "", nil)
+	done := pollJob(t, ts.URL, sub.Job.ID, server.StateCancelled)
+	if done.Progress != nil {
+		t.Fatalf("terminal job still carries progress: %+v", done.Progress)
+	}
+}
+
+// TestBackendSelectionKeysResultCache submits the same fast request under two
+// placers: they must be distinct jobs (the result cache keys on the backend),
+// and the selected backends must surface in each job's normalized options.
+func TestBackendSelectionKeysResultCache(t *testing.T) {
+	mgr := server.NewManager(server.Config{Workers: 2})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx)
+	}()
+
+	reqA := fastRequest(51)
+	reqA.Options.Placer = "nesterov"
+	reqB := fastRequest(51)
+	reqB.Options.Placer = "anneal"
+
+	a, cachedA, err := mgr.Submit(reqA)
+	if err != nil || cachedA {
+		t.Fatalf("submit A: %+v %v %v", a, cachedA, err)
+	}
+	b, cachedB, err := mgr.Submit(reqB)
+	if err != nil || cachedB {
+		t.Fatalf("submit B: %+v %v %v", b, cachedB, err)
+	}
+	if a.ID == b.ID {
+		t.Fatal("different placers deduplicated into one job")
+	}
+	if a.Request.Options.Placer != "nesterov" || b.Request.Options.Placer != "anneal" {
+		t.Fatalf("backends not in normalized requests: %+v / %+v",
+			a.Request.Options, b.Request.Options)
+	}
+	// Same backend resubmitted IS a cache hit.
+	dup, cached, err := mgr.Submit(reqB)
+	if err != nil || !cached || dup.ID != b.ID {
+		t.Fatalf("same-backend resubmit: %+v %v %v", dup, cached, err)
+	}
+}
+
+// TestManagerDefaultBackends checks the daemon-level -placer/-legalizer
+// defaults flow into requests that leave the backend unset, without
+// overriding explicit choices.
+func TestManagerDefaultBackends(t *testing.T) {
+	mgr := server.NewManager(server.Config{Workers: 1, DefaultLegalizer: "greedy"})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx)
+	}()
+
+	view, _, err := mgr.Submit(fastRequest(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Request.Options.Legalizer != "greedy" {
+		t.Fatalf("manager default not applied: %+v", view.Request.Options)
+	}
+	explicit := fastRequest(62)
+	explicit.Options.Legalizer = "shelf"
+	view2, _, err := mgr.Submit(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view2.Request.Options.Legalizer != "shelf" {
+		t.Fatalf("explicit backend overridden: %+v", view2.Request.Options)
+	}
 }
 
 // TestManagerConcurrentSubmitStress hammers one manager with duplicate

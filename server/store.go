@@ -66,6 +66,7 @@ type Job struct {
 
 	state    State
 	phase    string // "placing" | "evaluating" | "cancelling" while running
+	progress *ProgressView
 	err      error
 	result   *qplacer.ResultDocument
 	created  time.Time
@@ -76,19 +77,30 @@ type Job struct {
 	hits     int // duplicate submits served from this job
 }
 
+// ProgressView is the wire form of the latest backend Progress event of a
+// running job: which pipeline stage and backend are executing, how far along
+// they are, and the backend's own convergence objective.
+type ProgressView struct {
+	Stage     string  `json:"stage"`
+	Backend   string  `json:"backend,omitempty"`
+	Iteration int     `json:"iteration"`
+	Objective float64 `json:"objective"`
+}
+
 // JobView is the wire snapshot of a job, safe to marshal after the store
 // lock is released.
 type JobView struct {
-	ID            string     `json:"id"`
-	State         State      `json:"state"`
-	Phase         string     `json:"phase,omitempty"`
-	QueuePosition *int       `json:"queue_position,omitempty"` // 0 = next to run
-	Request       Request    `json:"request"`
-	Error         string     `json:"error,omitempty"`
-	CacheHits     int        `json:"cache_hits"`
-	CreatedAt     time.Time  `json:"created_at"`
-	StartedAt     *time.Time `json:"started_at,omitempty"`
-	FinishedAt    *time.Time `json:"finished_at,omitempty"`
+	ID            string        `json:"id"`
+	State         State         `json:"state"`
+	Phase         string        `json:"phase,omitempty"`
+	Progress      *ProgressView `json:"progress,omitempty"`
+	QueuePosition *int          `json:"queue_position,omitempty"` // 0 = next to run
+	Request       Request       `json:"request"`
+	Error         string        `json:"error,omitempty"`
+	CacheHits     int           `json:"cache_hits"`
+	CreatedAt     time.Time     `json:"created_at"`
+	StartedAt     *time.Time    `json:"started_at,omitempty"`
+	FinishedAt    *time.Time    `json:"finished_at,omitempty"`
 }
 
 // store is the in-memory job index: jobs by ID plus the result cache keyed
@@ -170,6 +182,10 @@ func (st *store) view(j *Job) JobView {
 		Request:   j.Request,
 		CacheHits: j.hits,
 		CreatedAt: j.created,
+	}
+	if j.progress != nil {
+		p := *j.progress
+		v.Progress = &p
 	}
 	if j.err != nil {
 		v.Error = j.err.Error()
