@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"qplacer/internal/geom"
+	"qplacer/internal/testutil"
 )
 
 func containsStr(names []string, want string) bool {
@@ -40,8 +41,10 @@ func TestBackendRegistriesListBuiltins(t *testing.T) {
 	}
 }
 
-// stubPlacer pins every qubit to its canonical coordinate — the smallest
-// possible custom backend, used to prove external registration works.
+// stubPlacer pins every qubit to its scaled canonical coordinate and strings
+// each resonator's segments along the line between its endpoint qubits — the
+// smallest custom backend that still produces a placement the legalizers
+// (and the conformance suite) can work with.
 type stubPlacer struct{ name string }
 
 func (s stubPlacer) Name() string { return s.name }
@@ -54,6 +57,14 @@ func (s stubPlacer) Place(ctx context.Context, st *StageState, obs Observer) (*P
 		nl.Instances[instID].Pos.X = c.X * 3
 		nl.Instances[instID].Pos.Y = c.Y * 3
 	}
+	for _, res := range nl.Resonators {
+		a := nl.Instances[nl.QubitInst[res.QubitA]].Pos
+		b := nl.Instances[nl.QubitInst[res.QubitB]].Pos
+		for k, sid := range res.Segments {
+			f := float64(k+1) / float64(len(res.Segments)+1)
+			nl.Instances[sid].Pos = geom.Point{X: a.X + (b.X-a.X)*f, Y: a.Y + (b.Y-a.Y)*f}
+		}
+	}
 	obs.OnProgress(Progress{Stage: StagePlace, Backend: s.name, Iteration: 1})
 	rects := nl.PaddedRects()
 	region := rects[0]
@@ -64,7 +75,8 @@ func (s stubPlacer) Place(ctx context.Context, st *StageState, obs Observer) (*P
 }
 
 func TestRegisterPlacerDuplicateAndValidation(t *testing.T) {
-	p := stubPlacer{name: "backend-test-stub"}
+	name := testutil.UniqueName(t)
+	p := stubPlacer{name: name}
 	if err := RegisterPlacer(p); err != nil {
 		t.Fatal(err)
 	}
@@ -81,28 +93,46 @@ func TestRegisterPlacerDuplicateAndValidation(t *testing.T) {
 	// The registered backend is selectable by name and actually runs.
 	eng := New()
 	plan, err := eng.Plan(context.Background(),
-		WithTopology("grid"), WithPlacer("backend-test-stub"), WithSkipLegalize(true))
+		WithTopology("grid"), WithPlacer(name), WithSkipLegalize(true))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plan.Options.Placer != "backend-test-stub" || plan.PlaceIterations != 1 {
+	if plan.Options.Placer != name || plan.PlaceIterations != 1 {
 		t.Fatalf("custom placer not used: %+v", plan.Options)
 	}
 }
 
-type stubLegalizer struct{}
+// stubLegalizer is an honest minimal legalizer: it repacks every instance's
+// fully padded footprint onto left-to-right shelves, which is overlap-free
+// by construction — so custom-backend registrations stay conformant under
+// the validation suite.
+type stubLegalizer struct{ name string }
 
-func (stubLegalizer) Name() string { return "backend-test-leg" }
+func (s stubLegalizer) Name() string { return s.name }
 
-func (stubLegalizer) Legalize(context.Context, *StageState, geom.Rect, Observer) (*LegalizeOutcome, error) {
-	return &LegalizeOutcome{IntegratedAll: true}, nil
+func (s stubLegalizer) Legalize(_ context.Context, st *StageState, region geom.Rect, obs Observer) (*LegalizeOutcome, error) {
+	x, y, rowH := region.Lo.X, region.Lo.Y, 0.0
+	for _, in := range st.Netlist.Instances {
+		w, h := in.PaddedW(), in.PaddedH()
+		if x+w > region.Hi.X && x > region.Lo.X {
+			x, y, rowH = region.Lo.X, y+rowH, 0
+		}
+		in.Pos = geom.Point{X: x + w/2, Y: y + h/2}
+		x += w
+		if h > rowH {
+			rowH = h
+		}
+	}
+	obs.OnProgress(Progress{Stage: StageLegalize, Backend: s.name, Iteration: 1})
+	return &LegalizeOutcome{}, nil
 }
 
 func TestRegisterLegalizerDuplicate(t *testing.T) {
-	if err := RegisterLegalizer(stubLegalizer{}); err != nil {
+	l := stubLegalizer{name: testutil.UniqueName(t)}
+	if err := RegisterLegalizer(l); err != nil {
 		t.Fatal(err)
 	}
-	if err := RegisterLegalizer(stubLegalizer{}); !errors.Is(err, ErrDuplicateLegalizer) {
+	if err := RegisterLegalizer(l); !errors.Is(err, ErrDuplicateLegalizer) {
 		t.Fatalf("duplicate legalizer err = %v, want ErrDuplicateLegalizer", err)
 	}
 	if err := RegisterLegalizer(nil); err == nil {
@@ -278,6 +308,40 @@ func TestPlanCacheKeyedByBackend(t *testing.T) {
 	}
 	if shelf == greedy {
 		t.Fatal("legalizer variants shared one cache entry")
+	}
+}
+
+// TestAnnealDeterministicAcrossEngines runs the full anneal pipeline —
+// placement and legalization, explicit non-default seed — on two completely
+// independent engines (no shared caches) and requires bit-identical layouts
+// and metrics: the reproducibility contract the golden corpus relies on.
+func TestAnnealDeterministicAcrossEngines(t *testing.T) {
+	ctx := context.Background()
+	run := func() *PlanResult {
+		eng := New() // fresh engine: cold stage and plan caches
+		plan, err := eng.Plan(ctx, WithTopology("grid"), WithPlacer("anneal"),
+			WithLegalizer("greedy"), WithMaxIters(30), WithSeed(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+	p1, p2 := run(), run()
+	if p1 == p2 {
+		t.Fatal("independent engines shared a plan pointer")
+	}
+	if p1.PlaceIterations != p2.PlaceIterations {
+		t.Fatalf("iterations diverge: %d vs %d", p1.PlaceIterations, p2.PlaceIterations)
+	}
+	for i := range p1.Netlist.Instances {
+		if p1.Netlist.Instances[i].Pos != p2.Netlist.Instances[i].Pos {
+			t.Fatalf("equal seeds, different engines: instance %d at %v vs %v",
+				i, p1.Netlist.Instances[i].Pos, p2.Netlist.Instances[i].Pos)
+		}
+	}
+	if p1.Metrics.Amer != p2.Metrics.Amer || p1.Metrics.Ph != p2.Metrics.Ph ||
+		p1.Metrics.Utilization != p2.Metrics.Utilization {
+		t.Fatalf("metrics diverge: %+v vs %+v", p1.Metrics, p2.Metrics)
 	}
 }
 

@@ -10,6 +10,7 @@
 //	qplacer -topology eagle -bench all        # whole suite, concurrent
 //	qplacer -topology grid -bench all -json   # the service's ResultDocument
 //	qplacer -topology grid -placer anneal -legalizer greedy
+//	qplacer -topology grid -verify            # independently verify the layout
 //	qplacer -list-backends                    # registered placers/legalizers
 package main
 
@@ -43,6 +44,7 @@ func main() {
 		placer   = flag.String("placer", "", "placement backend: "+strings.Join(qplacer.Placers(), "|")+" (default "+qplacer.DefaultPlacerName+")")
 		legalize = flag.String("legalizer", "", "legalization backend: "+strings.Join(qplacer.Legalizers(), "|")+" (default "+qplacer.DefaultLegalizerName+")")
 		listBE   = flag.Bool("list-backends", false, "print registered placer/legalizer backends and exit")
+		verify   = flag.Bool("verify", false, "independently verify the placement; exit non-zero when invalid")
 	)
 	flag.Parse()
 
@@ -60,7 +62,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	eng := qplacer.New(
+	engOpts := []qplacer.Option{
 		qplacer.WithTopology(*topo),
 		qplacer.WithScheme(sch),
 		qplacer.WithLB(*lb),
@@ -68,12 +70,16 @@ func main() {
 		qplacer.WithWorkers(*workers),
 		qplacer.WithPlacer(*placer),
 		qplacer.WithLegalizer(*legalize),
-	)
+	}
+	if *verify {
+		engOpts = append(engOpts, qplacer.WithValidation(qplacer.ValidationAnnotate))
+	}
+	eng := qplacer.New(engOpts...)
 	plan, err := eng.Plan(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	doc := qplacer.ResultDocument{Plan: plan}
+	doc := qplacer.ResultDocument{Plan: plan, Validation: plan.Validation}
 
 	writeLayout := func(path string, render func(*os.File) error) {
 		f, err := os.Create(path)
@@ -113,12 +119,22 @@ func main() {
 		doc.Evaluation = ev
 	}
 
+	// failIfInvalid makes -verify a meaningful exit status for scripts: the
+	// report is printed (text or JSON) first, then the process fails.
+	failIfInvalid := func() {
+		if v := plan.Validation; *verify && v != nil && !v.Valid {
+			log.Fatalf("placement failed verification: %d error violation(s), %d warning(s)",
+				v.Errors, v.Warnings)
+		}
+	}
+
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
 			log.Fatal(err)
 		}
+		failIfInvalid()
 		return
 	}
 
@@ -138,6 +154,19 @@ func main() {
 		m.Amer, m.Apoly, m.Utilization)
 	fmt.Printf("P_h          %.3f %%   violations %d   impacted qubits %d\n",
 		m.Ph, len(m.Violations), len(m.ImpactedQubits))
+	if v := plan.Validation; v != nil {
+		verdict := "valid"
+		if !v.Valid {
+			verdict = "INVALID"
+		}
+		fmt.Printf("verify       %s   errors %d   warnings %d   (%d instances, %d pairs)\n",
+			verdict, v.Errors, v.Warnings, v.InstancesChecked, v.PairsChecked)
+		for _, viol := range v.Violations {
+			if viol.Severity == qplacer.SeverityError {
+				fmt.Printf("  %-20s %s\n", viol.Code, viol.Detail)
+			}
+		}
+	}
 	if doc.Batch != nil {
 		for _, ev := range doc.Batch.Results {
 			fmt.Printf("fidelity     %-10s mean %.4f  min %.4f  max %.4f (%d mappings)\n",
@@ -152,4 +181,5 @@ func main() {
 		fmt.Printf("fidelity     %s: mean %.4f  min %.4f  max %.4f (%d mappings)\n",
 			ev.Benchmark, ev.MeanFidelity, ev.MinFidelity, ev.MaxFidelity, ev.NumMappings)
 	}
+	failIfInvalid()
 }

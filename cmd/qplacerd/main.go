@@ -46,6 +46,8 @@ func main() {
 			strings.Join(qplacer.Placers(), "|"))
 		legalize = flag.String("legalizer", "", "default legalization backend for requests that leave it unset: "+
 			strings.Join(qplacer.Legalizers(), "|"))
+		strict = flag.Bool("strict-validation", false,
+			"fail jobs whose placement carries error-severity violations (422 invalid_placement)")
 	)
 	flag.Parse()
 
@@ -69,6 +71,7 @@ func main() {
 		JobTTL:           *ttl,
 		DefaultPlacer:    *placer,
 		DefaultLegalizer: *legalize,
+		StrictValidation: *strict,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

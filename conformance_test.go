@@ -1,0 +1,52 @@
+package qplacer
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestBackendConformance is the conformance bar every pipeline backend must
+// clear: each registered placer × legalizer pair — built-ins plus whatever
+// this test binary registered before the suite ran — must produce a
+// placement the independent verifier accepts (no error-severity violations)
+// on the fast topologies. A custom backend that overlaps components, loses
+// them off the die, or breaks the metrics contract fails here by name.
+func TestBackendConformance(t *testing.T) {
+	// Snapshot the registries once so every pair runs against the same set.
+	placers, legalizers := Placers(), Legalizers()
+	if len(placers) < 2 || len(legalizers) < 2 {
+		t.Fatalf("registries too small: %v × %v", placers, legalizers)
+	}
+	for _, topo := range []string{"grid", "falcon"} {
+		for _, placer := range placers {
+			for _, legalizer := range legalizers {
+				topo, placer, legalizer := topo, placer, legalizer
+				t.Run(fmt.Sprintf("%s/%s+%s", topo, placer, legalizer), func(t *testing.T) {
+					t.Parallel()
+					eng := New()
+					plan, err := eng.Plan(context.Background(),
+						WithTopology(topo), WithPlacer(placer), WithLegalizer(legalizer),
+						WithMaxIters(30))
+					if err != nil {
+						t.Fatalf("pipeline failed: %v", err)
+					}
+					rep, err := Validate(plan)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rep.Valid {
+						return
+					}
+					for _, v := range rep.Violations {
+						if v.Severity == SeverityError {
+							t.Errorf("%s: %s", v.Code, v.Detail)
+						}
+					}
+					t.Fatalf("%s+%s produced an invalid placement on %s: %d error violation(s)",
+						placer, legalizer, topo, rep.Errors)
+				})
+			}
+		}
+	}
+}

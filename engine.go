@@ -96,6 +96,10 @@ type PlanResult struct {
 	AvgIterMS       float64
 	NumCells        int
 	Integrated      bool
+
+	// Validation is the independent verifier's report, set when the plan ran
+	// under WithValidation (or by the caller via Validate); nil otherwise.
+	Validation *ValidationReport
 }
 
 // WriteSVG renders the plan's layout as SVG.
@@ -118,17 +122,18 @@ func (e *Engine) Plan(ctx context.Context, opts ...Option) (*PlanResult, error) 
 	for _, o := range opts {
 		o(&s)
 	}
-	return e.planWith(ctx, s.opts, s.observer)
+	return e.planWith(ctx, s.opts, s.observer, s.validation)
 }
 
 // PlanOptions is Plan taking the options as a struct — the migration path
 // from the legacy free function. It streams progress to the engine-wide
-// observer, if one was configured at New.
+// observer, if one was configured at New, and verifies under the engine-wide
+// validation mode.
 func (e *Engine) PlanOptions(ctx context.Context, opts Options) (*PlanResult, error) {
-	return e.planWith(ctx, opts, e.settings.observer)
+	return e.planWith(ctx, opts, e.settings.observer, e.settings.validation)
 }
 
-func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer) (*PlanResult, error) {
+func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer, vmode ValidationMode) (*PlanResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -143,7 +148,7 @@ func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer) (*Pla
 	e.mu.Lock()
 	if cached, ok := e.plans[norm]; ok {
 		e.mu.Unlock()
-		return cached, nil
+		return e.validated(cached, norm, vmode)
 	}
 	e.mu.Unlock()
 
@@ -205,14 +210,59 @@ func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer) (*Pla
 
 	out.Metrics = metrics.Measure(nl, norm.DeltaC)
 
+	if vmode != ValidationOff {
+		rep, err := Validate(out)
+		if err != nil {
+			return nil, err
+		}
+		out.Validation = rep
+		if vmode == ValidationStrict && !rep.Valid {
+			// Invalid plans never enter the cache: a later non-strict call
+			// may still want the layout (annotated), and a strict retry must
+			// re-verify rather than trust a poisoned entry.
+			return nil, validationError(rep)
+		}
+	}
+
 	e.mu.Lock()
 	if prior, ok := e.plans[norm]; ok {
-		out = prior // concurrent identical run won the race; results agree
-	} else {
-		e.plans[norm] = out
+		e.mu.Unlock()
+		// A concurrent identical run won the insert race; results agree, but
+		// the winner may have run under a different validation mode, so the
+		// caller's mode is applied to the shared entry like any warm hit.
+		return e.validated(prior, norm, vmode)
 	}
+	e.plans[norm] = out
 	e.mu.Unlock()
 	return out, nil
+}
+
+// validated applies the validation mode to a plan served from the warm
+// cache. Cached plans are shared and read-only, so a report computed for an
+// unannotated entry goes onto a shallow copy, which then replaces the cache
+// entry — later hits reuse the annotated copy instead of re-verifying.
+func (e *Engine) validated(cached *PlanResult, norm Options, vmode ValidationMode) (*PlanResult, error) {
+	if vmode == ValidationOff {
+		return cached, nil
+	}
+	if cached.Validation == nil {
+		rep, err := Validate(cached)
+		if err != nil {
+			return nil, err
+		}
+		annotated := *cached
+		annotated.Validation = rep
+		e.mu.Lock()
+		if e.plans[norm] == cached {
+			e.plans[norm] = &annotated
+		}
+		e.mu.Unlock()
+		cached = &annotated
+	}
+	if vmode == ValidationStrict && !cached.Validation.Valid {
+		return nil, validationError(cached.Validation)
+	}
+	return cached, nil
 }
 
 // stage returns the cached placement-independent prefix for the options,

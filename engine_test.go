@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"qplacer/internal/testutil"
 	"qplacer/internal/topology"
 )
 
@@ -275,9 +276,10 @@ func TestEngineConcurrentUse(t *testing.T) {
 
 func TestCustomTopologyFlowsThroughEngine(t *testing.T) {
 	// Registered through the same internal registry the built-ins use.
-	err := topology.Register("engine-test-line8", func() *topology.Device {
+	name := testutil.UniqueName(t)
+	err := topology.Register(name, func() *topology.Device {
 		spec := TopologySpec{
-			Name:        "engine-test-line8",
+			Name:        name,
 			Description: "8-qubit line",
 			NumQubits:   8,
 			Edges:       [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}},
@@ -297,11 +299,11 @@ func TestCustomTopologyFlowsThroughEngine(t *testing.T) {
 
 	eng := New()
 	ctx := context.Background()
-	plan, err := eng.Plan(ctx, WithTopology("engine-test-line8"))
+	plan, err := eng.Plan(ctx, WithTopology(name))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plan.Device.Name != "engine-test-line8" || plan.Device.NumQubits != 8 {
+	if plan.Device.Name != name || plan.Device.NumQubits != 8 {
 		t.Fatalf("custom device not used: %+v", plan.Device)
 	}
 	if plan.Metrics == nil || plan.Metrics.Amer <= 0 {
@@ -319,8 +321,9 @@ func TestCustomTopologyFlowsThroughEngine(t *testing.T) {
 }
 
 func TestRegisterTopologyAndBenchmarkSpecs(t *testing.T) {
+	topoName := testutil.UniqueName(t)
 	spec := TopologySpec{
-		Name:        "engine-test-tri",
+		Name:        topoName,
 		Description: "triangle",
 		NumQubits:   3,
 		Edges:       [][2]int{{0, 1}, {1, 2}, {2, 0}},
@@ -333,14 +336,14 @@ func TestRegisterTopologyAndBenchmarkSpecs(t *testing.T) {
 		t.Fatalf("duplicate topology err = %v, want ErrDuplicateTopology", err)
 	}
 	bad := spec
-	bad.Name = "engine-test-bad"
+	bad.Name = testutil.UniqueName(t)
 	bad.Coords = bad.Coords[:2]
 	if err := RegisterTopology(bad); err == nil {
 		t.Fatal("mismatched coords must fail validation")
 	}
 
 	bench := BenchmarkSpec{
-		Name:      "engine-test-bell",
+		Name:      testutil.UniqueName(t),
 		NumQubits: 2,
 		Gates: []GateSpec{
 			{Name: "h", Qubits: []int{0}},
@@ -354,7 +357,7 @@ func TestRegisterTopologyAndBenchmarkSpecs(t *testing.T) {
 		t.Fatalf("duplicate benchmark err = %v, want ErrDuplicateBenchmark", err)
 	}
 	badBench := bench
-	badBench.Name = "engine-test-badbench"
+	badBench.Name = testutil.UniqueName(t)
 	badBench.Gates = []GateSpec{{Name: "cz", Qubits: []int{0, 5}}}
 	if err := RegisterBenchmark(badBench); err == nil {
 		t.Fatal("out-of-range gate must fail validation")
@@ -362,7 +365,7 @@ func TestRegisterTopologyAndBenchmarkSpecs(t *testing.T) {
 
 	found := false
 	for _, name := range RegisteredTopologies() {
-		if name == "engine-test-tri" {
+		if name == topoName {
 			found = true
 		}
 	}

@@ -45,6 +45,14 @@ var (
 	// nothing requested and nothing registered — which would otherwise
 	// yield NaN means and ±Inf extremes.
 	ErrNoBenchmarks = errors.New("qplacer: no benchmarks to evaluate")
+	// ErrInvalidPlacement reports a plan that failed independent
+	// verification under ValidationStrict: the layout carries
+	// error-severity violations (see Validate).
+	ErrInvalidPlacement = errors.New("qplacer: invalid placement")
+	// ErrInvalidOptions reports an Options value that cannot describe any
+	// run — e.g. a non-finite segment size or detuning threshold — caught
+	// at normalization before it can poison cache keys or the pipeline.
+	ErrInvalidOptions = errors.New("qplacer: invalid options")
 )
 
 // wrapCancel converts a context error into an ErrCancelled-classified error,

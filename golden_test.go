@@ -1,0 +1,249 @@
+package qplacer
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden-corpus regression harness: checked-in fixtures pin the exact
+// deterministic output — normalized options, layout metrics, validation
+// verdict, and per-benchmark fidelity — of every built-in placer × legalizer
+// combination on the fast topologies. Any backend whose output drifts or
+// regresses fails here before it can serve a single bad layout.
+//
+// Regenerate after an intentional behaviour change with:
+//
+//	go test -run TestGoldenCorpus -update .
+//
+// Regeneration is idempotent: the pipeline is seeded and the encoder is
+// deterministic, so running -update twice produces identical bytes.
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden fixtures")
+
+// goldenMappings keeps fixture evaluation fast while still pinning the
+// fidelity pipeline; goldenIters is enough global placement for both
+// legalizers to produce clean layouts on the fast topologies.
+const (
+	goldenMappings = 2
+	goldenIters    = 40
+)
+
+type goldenMetrics struct {
+	Amer           float64 `json:"amer_mm2"`
+	Apoly          float64 `json:"apoly_mm2"`
+	Utilization    float64 `json:"utilization"`
+	PhPercent      float64 `json:"ph_percent"`
+	Violations     int     `json:"violations"`
+	ImpactedQubits []int   `json:"impacted_qubits"`
+}
+
+type goldenValidation struct {
+	Valid    bool `json:"valid"`
+	Errors   int  `json:"errors"`
+	Warnings int  `json:"warnings"`
+}
+
+type goldenEval struct {
+	Benchmark    string  `json:"benchmark"`
+	MeanFidelity float64 `json:"mean_fidelity"`
+	MinFidelity  float64 `json:"min_fidelity"`
+	MaxFidelity  float64 `json:"max_fidelity"`
+}
+
+type goldenFixture struct {
+	Options         Options          `json:"options"`
+	NumCells        int              `json:"num_cells"`
+	PlaceIterations int              `json:"place_iterations"`
+	Integrated      bool             `json:"integrated"`
+	Metrics         goldenMetrics    `json:"metrics"`
+	Validation      goldenValidation `json:"validation"`
+	Evaluations     []goldenEval     `json:"evaluations"`
+}
+
+// goldenCombos enumerates every topology × placer × legalizer combination in
+// the corpus: all 4 built-in backend pairs on both fast topologies.
+func goldenCombos() []Options {
+	var out []Options
+	for _, topo := range []string{"grid", "falcon"} {
+		for _, placer := range []string{"nesterov", "anneal"} {
+			for _, legalizer := range []string{"shelf", "greedy"} {
+				out = append(out, Options{
+					Topology:  topo,
+					Placer:    placer,
+					Legalizer: legalizer,
+					MaxIters:  goldenIters,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func goldenName(o Options) string {
+	return fmt.Sprintf("%s_%s_%s", o.Topology, o.Placer, o.Legalizer)
+}
+
+// buildFixture runs the full deterministic pipeline for one combination and
+// snapshots everything the corpus pins.
+func buildFixture(t *testing.T, o Options) goldenFixture {
+	t.Helper()
+	ctx := context.Background()
+	eng := New(WithValidation(ValidationAnnotate))
+	plan, err := eng.Plan(ctx, WithOptions(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := plan.Metrics
+	fix := goldenFixture{
+		Options:         plan.Options,
+		NumCells:        plan.NumCells,
+		PlaceIterations: plan.PlaceIterations,
+		Integrated:      plan.Integrated,
+		Metrics: goldenMetrics{
+			Amer:           m.Amer,
+			Apoly:          m.Apoly,
+			Utilization:    m.Utilization,
+			PhPercent:      m.Ph,
+			Violations:     len(m.Violations),
+			ImpactedQubits: append([]int{}, m.ImpactedQubits...),
+		},
+		Validation: goldenValidation{
+			Valid:    plan.Validation.Valid,
+			Errors:   plan.Validation.Errors,
+			Warnings: plan.Validation.Warnings,
+		},
+	}
+	for _, bench := range Benchmarks() {
+		ev, err := eng.Evaluate(ctx, plan, bench, goldenMappings)
+		if err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+		fix.Evaluations = append(fix.Evaluations, goldenEval{
+			Benchmark:    ev.Benchmark,
+			MeanFidelity: ev.MeanFidelity,
+			MinFidelity:  ev.MinFidelity,
+			MaxFidelity:  ev.MaxFidelity,
+		})
+	}
+	return fix
+}
+
+// goldenTol absorbs cross-platform floating-point noise; the pipeline is
+// bit-deterministic on one platform, so regressions show up far above this.
+const goldenTol = 1e-6
+
+func goldenClose(a, b float64) bool {
+	return math.Abs(a-b) <= goldenTol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// compareFixture reports every drifted field, so one run shows the whole
+// regression rather than its first symptom.
+func compareFixture(t *testing.T, want, got goldenFixture) {
+	t.Helper()
+	if got.Options != want.Options {
+		t.Errorf("options drifted: %+v, want %+v", got.Options, want.Options)
+	}
+	if got.NumCells != want.NumCells {
+		t.Errorf("num_cells = %d, want %d", got.NumCells, want.NumCells)
+	}
+	if got.PlaceIterations != want.PlaceIterations {
+		t.Errorf("place_iterations = %d, want %d", got.PlaceIterations, want.PlaceIterations)
+	}
+	if got.Integrated != want.Integrated {
+		t.Errorf("integrated = %v, want %v", got.Integrated, want.Integrated)
+	}
+	floats := []struct {
+		name      string
+		want, got float64
+	}{
+		{"amer_mm2", want.Metrics.Amer, got.Metrics.Amer},
+		{"apoly_mm2", want.Metrics.Apoly, got.Metrics.Apoly},
+		{"utilization", want.Metrics.Utilization, got.Metrics.Utilization},
+		{"ph_percent", want.Metrics.PhPercent, got.Metrics.PhPercent},
+	}
+	for _, f := range floats {
+		if !goldenClose(f.want, f.got) {
+			t.Errorf("%s = %.9g, want %.9g", f.name, f.got, f.want)
+		}
+	}
+	if got.Metrics.Violations != want.Metrics.Violations {
+		t.Errorf("violations = %d, want %d", got.Metrics.Violations, want.Metrics.Violations)
+	}
+	if fmt.Sprint(got.Metrics.ImpactedQubits) != fmt.Sprint(want.Metrics.ImpactedQubits) {
+		t.Errorf("impacted_qubits = %v, want %v", got.Metrics.ImpactedQubits, want.Metrics.ImpactedQubits)
+	}
+	if got.Validation != want.Validation {
+		t.Errorf("validation = %+v, want %+v", got.Validation, want.Validation)
+	}
+	if len(got.Evaluations) != len(want.Evaluations) {
+		t.Fatalf("evaluations = %d entries, want %d", len(got.Evaluations), len(want.Evaluations))
+	}
+	for i, w := range want.Evaluations {
+		g := got.Evaluations[i]
+		if g.Benchmark != w.Benchmark {
+			t.Errorf("evaluation %d benchmark = %s, want %s", i, g.Benchmark, w.Benchmark)
+			continue
+		}
+		for _, f := range []struct {
+			name      string
+			want, got float64
+		}{
+			{"mean_fidelity", w.MeanFidelity, g.MeanFidelity},
+			{"min_fidelity", w.MinFidelity, g.MinFidelity},
+			{"max_fidelity", w.MaxFidelity, g.MaxFidelity},
+		} {
+			if !goldenClose(f.want, f.got) {
+				t.Errorf("%s %s = %.9g, want %.9g", w.Benchmark, f.name, f.got, f.want)
+			}
+		}
+	}
+}
+
+func TestGoldenCorpus(t *testing.T) {
+	for _, o := range goldenCombos() {
+		o := o
+		t.Run(goldenName(o), func(t *testing.T) {
+			t.Parallel()
+			got := buildFixture(t, o)
+			path := filepath.Join("testdata", "golden", goldenName(o)+".json")
+
+			if *updateGolden {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with: go test -run TestGoldenCorpus -update .)", err)
+			}
+			var want goldenFixture
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt fixture %s: %v", path, err)
+			}
+			compareFixture(t, want, got)
+			if t.Failed() {
+				t.Logf("backend output drifted from %s; if intentional, regenerate with -update", path)
+			}
+
+			// The corpus only pins verified-clean layouts: a fixture that
+			// admits error-severity violations would bless broken backends.
+			if !want.Validation.Valid {
+				t.Errorf("fixture %s records an invalid placement", path)
+			}
+		})
+	}
+}

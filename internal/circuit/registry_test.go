@@ -3,10 +3,12 @@ package circuit
 import (
 	"errors"
 	"testing"
+
+	"qplacer/internal/testutil"
 )
 
 func TestRegisterAndByNameCustom(t *testing.T) {
-	const name = "registry-test-bell"
+	name := testutil.UniqueName(t)
 	b := Benchmark{Name: name, Qubits: 2, Build: func() *Circuit {
 		c := &Circuit{Name: name, NumQubits: 2}
 		c.h(0)
@@ -31,7 +33,7 @@ func TestRegisterAndByNameCustom(t *testing.T) {
 }
 
 func TestRegisterRejectsDuplicates(t *testing.T) {
-	const name = "registry-test-dup"
+	name := testutil.UniqueName(t)
 	b := Benchmark{Name: name, Qubits: 2, Build: func() *Circuit { return BV(2) }}
 	if err := Register(b); err != nil {
 		t.Fatal(err)
@@ -48,7 +50,7 @@ func TestRegisterRejectsInvalid(t *testing.T) {
 	if err := Register(Benchmark{Qubits: 2, Build: func() *Circuit { return BV(2) }}); err == nil {
 		t.Fatal("empty name must fail")
 	}
-	if err := Register(Benchmark{Name: "registry-test-nilbuild", Qubits: 2}); err == nil {
+	if err := Register(Benchmark{Name: testutil.UniqueName(t), Qubits: 2}); err == nil {
 		t.Fatal("nil builder must fail")
 	}
 }

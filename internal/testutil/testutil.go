@@ -1,0 +1,34 @@
+// Package testutil holds small helpers shared by tests across packages. It
+// is imported only from _test files, so it never reaches production binaries.
+package testutil
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// nameSeq disambiguates names within one test binary, including repeated
+// runs of the same test (-count) and parallel subtests.
+var nameSeq atomic.Uint64
+
+// UniqueName returns a registry-safe name that is unique across the whole
+// test binary, derived from the calling test's name. The topology, circuit,
+// and backend registries are global to the binary and reject duplicates, so
+// every registration in tests must use a fresh name — including when a test
+// is re-run in the same process (go test -count=N).
+func UniqueName(t testing.TB) string {
+	t.Helper()
+	base := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, t.Name())
+	return fmt.Sprintf("%s-%d", base, nameSeq.Add(1))
+}

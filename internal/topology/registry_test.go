@@ -6,6 +6,7 @@ import (
 
 	"qplacer/internal/geom"
 	"qplacer/internal/graph"
+	"qplacer/internal/testutil"
 )
 
 func lineDevice(name string, n int) *Device {
@@ -27,7 +28,7 @@ func lineDevice(name string, n int) *Device {
 }
 
 func TestRegisterAndByName(t *testing.T) {
-	const name = "registry-test-line5"
+	name := testutil.UniqueName(t)
 	if err := Register(name, func() *Device { return lineDevice(name, 5) }); err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestRegisterAndByName(t *testing.T) {
 }
 
 func TestRegisterRejectsDuplicates(t *testing.T) {
-	const name = "registry-test-dup"
+	name := testutil.UniqueName(t)
 	gen := func() *Device { return lineDevice(name, 3) }
 	if err := Register(name, gen); err != nil {
 		t.Fatal(err)
@@ -69,7 +70,7 @@ func TestRegisterRejectsInvalid(t *testing.T) {
 	if err := Register("", func() *Device { return lineDevice("x", 2) }); err == nil {
 		t.Fatal("empty name must fail")
 	}
-	if err := Register("registry-test-nilgen", nil); err == nil {
+	if err := Register(testutil.UniqueName(t), nil); err == nil {
 		t.Fatal("nil generator must fail")
 	}
 }

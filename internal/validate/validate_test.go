@@ -1,0 +1,228 @@
+package validate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qplacer/internal/component"
+	"qplacer/internal/frequency"
+	"qplacer/internal/geom"
+	"qplacer/internal/metrics"
+	"qplacer/internal/physics"
+	"qplacer/internal/topology"
+)
+
+// legalNetlist builds a small netlist and hand-places it on a coarse grid so
+// every claim footprint is disjoint — a known-good layout to corrupt.
+func legalNetlist(t *testing.T) *component.Netlist {
+	t.Helper()
+	dev, err := topology.ByName("grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := frequency.Assign(dev, physics.DetuneThresholdGHz)
+	nl, err := component.Build(dev, a.QubitFreq, a.ResFreq, component.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 mm pitch comfortably exceeds the 1.2 mm qubit claim width.
+	cols := int(math.Ceil(math.Sqrt(float64(len(nl.Instances)))))
+	for i, in := range nl.Instances {
+		in.Pos = geom.Point{X: float64(i%cols) * 2, Y: float64(i/cols) * 2}
+	}
+	return nl
+}
+
+func countCode(rep *Report, code Code) int {
+	n := 0
+	for _, v := range rep.Violations {
+		if v.Code == code {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCheckCleanLayout(t *testing.T) {
+	nl := legalNetlist(t)
+	rep, err := Check(Input{Netlist: nl, DeltaC: physics.DetuneThresholdGHz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countCode(rep, CodeOverlap) != 0 || countCode(rep, CodeNonFinite) != 0 {
+		t.Fatalf("clean layout reported hard violations: %+v", rep.Violations)
+	}
+	if !rep.Valid() {
+		t.Fatalf("clean layout invalid: %+v", rep.Violations)
+	}
+	if rep.InstancesChecked != len(nl.Instances) {
+		t.Fatalf("InstancesChecked = %d, want %d", rep.InstancesChecked, len(nl.Instances))
+	}
+	wantPairs := len(nl.Instances) * (len(nl.Instances) - 1) / 2
+	if rep.PairsChecked != wantPairs {
+		t.Fatalf("PairsChecked = %d, want %d", rep.PairsChecked, wantPairs)
+	}
+}
+
+func TestCheckFlagsOverlapAndFrequencyCollision(t *testing.T) {
+	nl := legalNetlist(t)
+	// Force the first two qubits onto colliding frequencies AND the same
+	// spot: one overlap error plus one frequency-collision warning.
+	a, b := nl.Instances[nl.QubitInst[0]], nl.Instances[nl.QubitInst[1]]
+	b.Pos = a.Pos
+	b.FreqGHz = a.FreqGHz
+	rep, err := Check(Input{Netlist: nl, DeltaC: physics.DetuneThresholdGHz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valid() {
+		t.Fatal("corrupted layout passed validation")
+	}
+	if countCode(rep, CodeOverlap) == 0 {
+		t.Fatalf("no overlap violation in %+v", rep.Violations)
+	}
+	if countCode(rep, CodeFrequencyCollision) == 0 {
+		t.Fatalf("no frequency-collision violation in %+v", rep.Violations)
+	}
+	// The violation carries its location and both instance IDs.
+	for _, v := range rep.Violations {
+		if v.Code == CodeOverlap {
+			if v.A != a.ID || v.B != b.ID {
+				t.Fatalf("overlap endpoints = %d,%d, want %d,%d", v.A, v.B, a.ID, b.ID)
+			}
+			if v.Pos != a.Pos {
+				t.Fatalf("overlap site = %v, want %v", v.Pos, a.Pos)
+			}
+			if v.Severity != SeverityError {
+				t.Fatalf("overlap severity = %v, want error", v.Severity)
+			}
+		}
+		if v.Code == CodeFrequencyCollision && v.Severity != SeverityWarning {
+			t.Fatalf("frequency collision severity = %v, want warning", v.Severity)
+		}
+	}
+	errs, warns := rep.Counts()
+	if errs == 0 || warns == 0 {
+		t.Fatalf("Counts() = %d errors, %d warnings; want both non-zero", errs, warns)
+	}
+}
+
+func TestCheckSameResonatorSegmentsExempt(t *testing.T) {
+	nl := legalNetlist(t)
+	// Two abutting segments of one resonator share a frequency by
+	// construction: no frequency collision may fire for them.
+	res := nl.Resonators[0]
+	if len(res.Segments) < 2 {
+		t.Skip("resonator 0 has a single segment")
+	}
+	s0, s1 := nl.Instances[res.Segments[0]], nl.Instances[res.Segments[1]]
+	s1.Pos = geom.Point{X: s0.Pos.X + s0.W + s0.Pad, Y: s0.Pos.Y}
+	rep, err := Check(Input{Netlist: nl, DeltaC: physics.DetuneThresholdGHz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		if v.Code == CodeFrequencyCollision && v.A == s0.ID && v.B == s1.ID {
+			t.Fatalf("same-resonator pair flagged: %+v", v)
+		}
+	}
+}
+
+func TestCheckFlagsNonFinite(t *testing.T) {
+	nl := legalNetlist(t)
+	nl.Instances[3].Pos.X = math.NaN()
+	nl.Instances[5].FreqGHz = math.Inf(1)
+	rep, err := Check(Input{Netlist: nl, DeltaC: physics.DetuneThresholdGHz})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countCode(rep, CodeNonFinite); got != 2 {
+		t.Fatalf("non-finite violations = %d, want 2", got)
+	}
+	if rep.Valid() {
+		t.Fatal("non-finite layout passed validation")
+	}
+}
+
+func TestCheckBounds(t *testing.T) {
+	nl := legalNetlist(t)
+	region, ok := geom.EnclosingRect(nl.PaddedRects())
+	if !ok {
+		t.Fatal("no enclosing rect")
+	}
+	rep, err := Check(Input{Netlist: nl, DeltaC: physics.DetuneThresholdGHz, Region: region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countCode(rep, CodeOutOfBounds); got != 0 {
+		t.Fatalf("in-bounds layout reported %d boundary violations", got)
+	}
+	// Fling one instance far outside the die: a warning, not an error.
+	nl.Instances[0].Pos = geom.Point{X: region.Hi.X + 100*region.W(), Y: region.Hi.Y}
+	rep, err = Check(Input{Netlist: nl, DeltaC: physics.DetuneThresholdGHz, Region: region})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countCode(rep, CodeOutOfBounds); got != 1 {
+		t.Fatalf("boundary violations = %d, want 1", got)
+	}
+	for _, v := range rep.Violations {
+		if v.Code == CodeOutOfBounds && v.Severity != SeverityWarning {
+			t.Fatalf("boundary severity = %v, want warning", v.Severity)
+		}
+	}
+}
+
+func TestCheckMetricsConsistency(t *testing.T) {
+	nl := legalNetlist(t)
+	m := metrics.Measure(nl, physics.DetuneThresholdGHz)
+	rep, err := Check(Input{Netlist: nl, DeltaC: physics.DetuneThresholdGHz, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countCode(rep, CodeMetricsMismatch); got != 0 {
+		t.Fatalf("honest metrics flagged %d mismatches: %+v", got, rep.Violations)
+	}
+
+	// Tamper with the claimed area: the independent recomputation catches it.
+	tampered := *m
+	tampered.Amer *= 1.5
+	rep, err = Check(Input{Netlist: nl, DeltaC: physics.DetuneThresholdGHz, Metrics: &tampered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := countCode(rep, CodeMetricsMismatch); got == 0 {
+		t.Fatal("tampered A_mer not flagged")
+	}
+	if rep.Valid() {
+		t.Fatal("tampered metrics passed validation")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Code == CodeMetricsMismatch && strings.Contains(v.Detail, "A_mer") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mismatch detail does not name A_mer: %+v", rep.Violations)
+	}
+}
+
+func TestCheckRejectsEmptyInput(t *testing.T) {
+	if _, err := Check(Input{}); err == nil {
+		t.Fatal("nil netlist must be rejected")
+	}
+	if _, err := Check(Input{Netlist: &component.Netlist{}}); err == nil {
+		t.Fatal("empty netlist must be rejected")
+	}
+}
+
+func TestSeverityAndCodeStrings(t *testing.T) {
+	if SeverityError.String() != "error" || SeverityWarning.String() != "warning" {
+		t.Fatalf("severity strings: %v %v", SeverityError, SeverityWarning)
+	}
+	if Severity(9).String() == "" {
+		t.Fatal("unknown severity must still print")
+	}
+}

@@ -46,6 +46,9 @@ type ResultDocument struct {
 	Plan       *PlanResult  `json:"plan"`
 	Evaluation *EvalResult  `json:"evaluation,omitempty"`
 	Batch      *BatchResult `json:"batch,omitempty"`
+	// Validation mirrors Plan.Validation at the top level so clients can
+	// check a result's verdict without digging into the plan view.
+	Validation *ValidationReport `json:"validation,omitempty"`
 }
 
 // pointJSON, rectJSON, deviceJSON, violationJSON, metricsJSON, and
@@ -125,16 +128,17 @@ type instanceJSON struct {
 }
 
 type planResultJSON struct {
-	Options         Options        `json:"options"`
-	Device          deviceJSON     `json:"device"`
-	Region          rectJSON       `json:"region"`
-	Metrics         *metricsJSON   `json:"metrics,omitempty"`
-	Placement       []instanceJSON `json:"placement"`
-	PlaceIterations int            `json:"place_iterations"`
-	PlaceRuntimeMS  float64        `json:"place_runtime_ms"`
-	AvgIterMS       float64        `json:"avg_iter_ms"`
-	NumCells        int            `json:"num_cells"`
-	Integrated      bool           `json:"integrated"`
+	Options         Options           `json:"options"`
+	Device          deviceJSON        `json:"device"`
+	Region          rectJSON          `json:"region"`
+	Metrics         *metricsJSON      `json:"metrics,omitempty"`
+	Placement       []instanceJSON    `json:"placement"`
+	PlaceIterations int               `json:"place_iterations"`
+	PlaceRuntimeMS  float64           `json:"place_runtime_ms"`
+	AvgIterMS       float64           `json:"avg_iter_ms"`
+	NumCells        int               `json:"num_cells"`
+	Integrated      bool              `json:"integrated"`
+	Validation      *ValidationReport `json:"validation,omitempty"`
 }
 
 // MarshalJSON renders the full plan — options, device, placed instances,
@@ -151,6 +155,7 @@ func (p *PlanResult) MarshalJSON() ([]byte, error) {
 		AvgIterMS:       p.AvgIterMS,
 		NumCells:        p.NumCells,
 		Integrated:      p.Integrated,
+		Validation:      p.Validation,
 	}
 	if p.Device != nil {
 		out.Device = deviceJSON{

@@ -2,6 +2,7 @@ package qplacer
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 
 	"qplacer/internal/physics"
@@ -83,6 +84,15 @@ func (o Options) Normalized() (Options, error) {
 // normalized fills in defaults and validates the scheme, returning the
 // canonical form used as cache key.
 func (o Options) normalized() (Options, error) {
+	// Non-finite numerics can slip past every downstream <= 0 guard (NaN
+	// compares false both ways) and poison cache keys, so they are rejected
+	// here with the typed sentinel.
+	if math.IsNaN(o.LB) || math.IsInf(o.LB, 0) {
+		return o, fmt.Errorf("%w: non-finite lb %v", ErrInvalidOptions, o.LB)
+	}
+	if math.IsNaN(o.DeltaC) || math.IsInf(o.DeltaC, 0) {
+		return o, fmt.Errorf("%w: non-finite delta_c %v", ErrInvalidOptions, o.DeltaC)
+	}
 	if o.Topology == "" {
 		o.Topology = "grid"
 	}
@@ -121,9 +131,10 @@ func (o Options) normalized() (Options, error) {
 // settings is the merged engine + per-call configuration that functional
 // options operate on.
 type settings struct {
-	opts     Options
-	workers  int
-	observer Observer
+	opts       Options
+	workers    int
+	observer   Observer
+	validation ValidationMode
 }
 
 func defaultSettings() settings {
@@ -188,6 +199,16 @@ func WithLegalizer(name string) Option {
 // nil removes the observer.
 func WithObserver(obs Observer) Option {
 	return func(s *settings) { s.observer = obs }
+}
+
+// WithValidation runs the independent verifier (see Validate) after every
+// plan. ValidationAnnotate attaches the report to PlanResult.Validation;
+// ValidationStrict additionally fails Plan with ErrInvalidPlacement when the
+// report carries error-severity violations. Warm cache hits are verified
+// (once) too, so a corrupted cache entry cannot slip through. As an engine
+// option it applies to every plan; as a per-call option to that call only.
+func WithValidation(mode ValidationMode) Option {
+	return func(s *settings) { s.validation = mode }
 }
 
 // WithOptions replaces the whole Options struct at once — the migration

@@ -37,7 +37,8 @@ type errorResponse struct {
 
 // statusFor maps pipeline and service errors onto HTTP status codes:
 // unknown names are 404, malformed requests 400, capacity and shutdown 503,
-// cancellation and not-ready conflicts 409.
+// cancellation and not-ready conflicts 409, placements that failed
+// independent verification 422.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, qplacer.ErrUnknownTopology),
@@ -47,8 +48,11 @@ func statusFor(err error) int {
 	case errors.Is(err, qplacer.ErrUnknownScheme),
 		errors.Is(err, qplacer.ErrUnknownPlacer),
 		errors.Is(err, qplacer.ErrUnknownLegalizer),
+		errors.Is(err, qplacer.ErrInvalidOptions),
 		errors.Is(err, qplacer.ErrNoBenchmarks):
 		return http.StatusBadRequest
+	case errors.Is(err, qplacer.ErrInvalidPlacement):
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, qplacer.ErrCancelled), errors.Is(err, ErrJobNotDone):
@@ -71,8 +75,12 @@ func codeFor(err error) string {
 		return "unknown_placer"
 	case errors.Is(err, qplacer.ErrUnknownLegalizer):
 		return "unknown_legalizer"
+	case errors.Is(err, qplacer.ErrInvalidOptions):
+		return "invalid_options"
 	case errors.Is(err, qplacer.ErrNoBenchmarks):
 		return "no_benchmarks"
+	case errors.Is(err, qplacer.ErrInvalidPlacement):
+		return "invalid_placement"
 	case errors.Is(err, qplacer.ErrCancelled):
 		return "cancelled"
 	case errors.Is(err, ErrUnknownJob):
@@ -107,7 +115,10 @@ func jobLinks(id string) map[string]string {
 	}
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+// decodeBody reads a size-capped request body into out, writing the error
+// response itself when the body is oversized or malformed. It reports
+// whether decoding succeeded.
+func decodeBody(w http.ResponseWriter, r *http.Request, out any) bool {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
 		var tooBig *http.MaxBytesError
@@ -116,23 +127,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				Error: err.Error(),
 				Code:  "body_too_large",
 			})
-			return
+			return false
 		}
 		writeError(w, fmt.Errorf("reading body: %w", err))
-		return
+		return false
 	}
-	var req PlanRequest
-	if err := json.Unmarshal(body, &req); err != nil {
+	if err := json.Unmarshal(body, out); err != nil {
 		// Typed decode failures (e.g. an unknown scheme name) keep their
 		// classification; anything else is a plain malformed request.
 		if errors.Is(err, qplacer.ErrUnknownScheme) {
 			writeError(w, err)
-			return
+			return false
 		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{
 			Error: fmt.Sprintf("malformed request: %v", err),
 			Code:  "bad_request",
 		})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req PlanRequest
+	if !decodeBody(w, r, &req) {
 		return
 	}
 	view, cached, err := s.mgr.Submit(Request{
@@ -149,6 +167,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, SubmitResponse{Job: view, Cached: cached, Links: jobLinks(view.ID)})
+}
+
+// ValidateRequest is the body of POST /v1/validate: the engine options of
+// the placement to verify.
+type ValidateRequest struct {
+	qplacer.Options
+}
+
+// ValidateResponse pairs the normalized options with the independent
+// verifier's report. It is returned with status 200 when the placement is
+// valid and 422 (invalid_placement) when it carries error-severity
+// violations, so clients can branch on the status alone.
+type ValidateResponse struct {
+	Options    qplacer.Options           `json:"options"`
+	Validation *qplacer.ValidationReport `json:"validation"`
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	var req ValidateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	rep, norm, err := s.mgr.Validate(r.Context(), req.Options)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	status := http.StatusOK
+	if !rep.Valid {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, ValidateResponse{Options: norm, Validation: rep})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

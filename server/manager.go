@@ -52,6 +52,11 @@ type Config struct {
 	// "nesterov"/"shelf"). Requests naming a backend explicitly win.
 	DefaultPlacer    string
 	DefaultLegalizer string
+	// StrictValidation fails jobs whose placement carries error-severity
+	// violations (ErrInvalidPlacement → 422 at the result endpoint) instead
+	// of merely annotating the result document. Every job's result carries
+	// the independent verifier's report either way.
+	StrictValidation bool
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +96,14 @@ type Manager struct {
 	engines []*qplacer.Engine
 	wg      sync.WaitGroup
 
+	// validateSem bounds synchronous Validate calls to the same concurrency
+	// as the job workers, so a burst of POST /v1/validate cannot run more
+	// placements at once than the job queue would allow.
+	validateSem chan struct{}
+	// validateRR round-robins Validate calls over the engine pool (guarded
+	// by st.mu).
+	validateRR uint64
+
 	// counters are guarded by st.mu, like all job state.
 	submitted uint64
 	done      uint64
@@ -105,9 +118,10 @@ type Manager struct {
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{
-		cfg:   cfg,
-		st:    newStore(cfg.JobTTL),
-		queue: make(chan *Job, cfg.QueueDepth),
+		cfg:         cfg,
+		st:          newStore(cfg.JobTTL),
+		queue:       make(chan *Job, cfg.QueueDepth),
+		validateSem: make(chan struct{}, cfg.Workers),
 	}
 	for i := 0; i < cfg.EnginePool; i++ {
 		m.engines = append(m.engines, qplacer.New(cfg.EngineOptions...))
@@ -163,6 +177,45 @@ func (m *Manager) normalize(req Request) (Request, error) {
 func containsName(names []string, want string) bool {
 	i := sort.SearchStrings(names, want)
 	return i < len(names) && names[i] == want
+}
+
+// validationMode is how every job (and the validate endpoint) runs the
+// verifier: annotate by default, strict when configured.
+func (m *Manager) validationMode() qplacer.ValidationMode {
+	if m.cfg.StrictValidation {
+		return qplacer.ValidationStrict
+	}
+	return qplacer.ValidationAnnotate
+}
+
+// Validate synchronously plans the given options and returns the
+// independent verifier's report alongside the normalized options. Calls
+// share the engine pool's stage and plan caches (with a single-engine pool,
+// re-validating a just-finished job is a warm cache hit) and are bounded to
+// the worker count: excess callers wait their turn or give up with their
+// context. Cancelling ctx also aborts an in-flight placement.
+func (m *Manager) Validate(ctx context.Context, opts qplacer.Options) (*qplacer.ValidationReport, qplacer.Options, error) {
+	norm, err := m.normalize(Request{Options: opts})
+	if err != nil {
+		return nil, opts, err
+	}
+	select {
+	case m.validateSem <- struct{}{}:
+		defer func() { <-m.validateSem }()
+	case <-ctx.Done():
+		return nil, norm.Options, fmt.Errorf("%w: %w", qplacer.ErrCancelled, ctx.Err())
+	}
+	m.st.mu.Lock()
+	m.validateRR++
+	eng := m.engines[int(m.validateRR)%len(m.engines)]
+	m.st.mu.Unlock()
+	plan, err := eng.Plan(ctx,
+		qplacer.WithOptions(norm.Options),
+		qplacer.WithValidation(qplacer.ValidationAnnotate))
+	if err != nil {
+		return nil, norm.Options, err
+	}
+	return plan.Validation, norm.Options, nil
 }
 
 // Submit normalizes and enqueues a placement request. A request whose
@@ -370,7 +423,11 @@ func (m *Manager) run(eng *qplacer.Engine, job *Job) {
 		}
 		m.st.mu.Unlock()
 	})
-	plan, err := eng.Plan(ctx, qplacer.WithOptions(job.Request.Options), qplacer.WithObserver(obs))
+	// Jobs always run the independent verifier: annotate mode attaches the
+	// report to the result document, strict mode turns an invalid placement
+	// into a failed job (ErrInvalidPlacement → 422).
+	plan, err := eng.Plan(ctx, qplacer.WithOptions(job.Request.Options),
+		qplacer.WithObserver(obs), qplacer.WithValidation(m.validationMode()))
 	if err != nil {
 		m.finish(job, nil, err)
 		return
@@ -387,7 +444,11 @@ func (m *Manager) run(eng *qplacer.Engine, job *Job) {
 		m.finish(job, nil, err)
 		return
 	}
-	m.finish(job, &qplacer.ResultDocument{Plan: plan, Batch: batch}, nil)
+	m.finish(job, &qplacer.ResultDocument{
+		Plan:       plan,
+		Batch:      batch,
+		Validation: plan.Validation,
+	}, nil)
 }
 
 // finish publishes the job's terminal state and maintains the result cache:

@@ -10,6 +10,7 @@ import (
 // Server wires the job manager to its HTTP surface.
 //
 //	POST   /v1/plans            submit a placement job
+//	POST   /v1/validate         synchronously verify a placement (422 when invalid)
 //	GET    /v1/jobs/{id}        poll status, live progress, queue position
 //	GET    /v1/jobs/{id}/result fetch the ResultDocument of a done job
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
@@ -39,6 +40,7 @@ func New(cfg Config) *Server {
 	s.httpSrv = &http.Server{Handler: s.mux}
 	s.started = s.clock()
 	s.mux.HandleFunc("POST /v1/plans", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/validate", s.handleValidate)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)

@@ -1,0 +1,167 @@
+package qplacer
+
+import (
+	"fmt"
+
+	"qplacer/internal/validate"
+)
+
+// This file is the public face of the placement verifier: Validate re-checks
+// a finished plan against independently re-derived constraints
+// (internal/validate), ValidationReport/ValidationViolation are its typed,
+// JSON-stable result, and ValidationMode + WithValidation let an Engine run
+// the verifier after every plan — annotating the result or failing outright.
+
+// ValidationSeverity ranks a violation: "error" makes the placement invalid,
+// "warning" flags a residual quality defect (e.g. a frequency hotspot, which
+// the paper measures as P_h rather than forbids).
+type ValidationSeverity string
+
+const (
+	// SeverityError marks a hard constraint violation.
+	SeverityError ValidationSeverity = "error"
+	// SeverityWarning marks a quality defect a legal layout may still carry.
+	SeverityWarning ValidationSeverity = "warning"
+)
+
+// ValidationCode identifies the constraint a violation breaks.
+type ValidationCode string
+
+const (
+	// ViolationNonFinite: an instance with a NaN or infinite coordinate,
+	// size, or frequency.
+	ViolationNonFinite ValidationCode = "non_finite"
+	// ViolationOverlap: two instances whose exclusive claim footprints
+	// interpenetrate — the layout is not manufacturable.
+	ViolationOverlap ValidationCode = "overlap"
+	// ViolationFrequencyCollision: a near-resonant pair inside the
+	// interaction radius — a frequency hotspot.
+	ViolationFrequencyCollision ValidationCode = "frequency_collision"
+	// ViolationOutOfBounds: an instance far outside the declared placement
+	// region.
+	ViolationOutOfBounds ValidationCode = "out_of_bounds"
+	// ViolationMetricsMismatch: a claimed metric disagreeing with its
+	// independent recomputation.
+	ViolationMetricsMismatch ValidationCode = "metrics_mismatch"
+)
+
+// ValidationViolation is one broken constraint, located on the die.
+type ValidationViolation struct {
+	Code     ValidationCode     `json:"code"`
+	Severity ValidationSeverity `json:"severity"`
+	// A and B are the instance IDs involved; B is -1 for single-instance
+	// violations, and both are -1 for layout-level ones (metrics mismatch).
+	A int `json:"a"`
+	B int `json:"b"`
+	// X, Y locate the violation site in mm (midpoint for pair violations).
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// ValidationReport is the outcome of verifying one placement.
+type ValidationReport struct {
+	// Valid is true when no error-severity violation was found; warnings do
+	// not invalidate a placement.
+	Valid    bool `json:"valid"`
+	Errors   int  `json:"errors"`
+	Warnings int  `json:"warnings"`
+	// InstancesChecked and PairsChecked record the work performed, so an
+	// empty violation list is distinguishable from a vacuous check.
+	InstancesChecked int                   `json:"instances_checked"`
+	PairsChecked     int                   `json:"pairs_checked"`
+	Violations       []ValidationViolation `json:"violations"`
+}
+
+// ByCode returns the violations carrying the given code.
+func (r *ValidationReport) ByCode(code ValidationCode) []ValidationViolation {
+	var out []ValidationViolation
+	for _, v := range r.Violations {
+		if v.Code == code {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Validate independently re-checks a finished plan: pairwise frequency
+// collisions within the interaction radius, geometric overlap of the claim
+// footprints, die-boundary containment, and consistency of the plan's
+// claimed metrics. It re-derives every constraint from scratch rather than
+// trusting the placer/legalizer that produced the layout, so it catches bad
+// custom backends and corrupted or tampered results alike. The plan is not
+// mutated; a report full of violations is a successful validation — the only
+// errors are nil or empty plans.
+func Validate(plan *PlanResult) (*ValidationReport, error) {
+	if plan == nil || plan.Netlist == nil {
+		return nil, fmt.Errorf("qplacer: validate nil plan")
+	}
+	rep, err := validate.Check(validate.Input{
+		Netlist: plan.Netlist,
+		DeltaC:  plan.Options.DeltaC,
+		Region:  plan.Region,
+		Metrics: plan.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return toValidationReport(rep), nil
+}
+
+// toValidationReport converts the internal report to the public wire form.
+func toValidationReport(rep *validate.Report) *ValidationReport {
+	errs, warns := rep.Counts()
+	out := &ValidationReport{
+		Valid:            rep.Valid(),
+		Errors:           errs,
+		Warnings:         warns,
+		InstancesChecked: rep.InstancesChecked,
+		PairsChecked:     rep.PairsChecked,
+		Violations:       make([]ValidationViolation, 0, len(rep.Violations)),
+	}
+	for _, v := range rep.Violations {
+		sev := SeverityWarning
+		if v.Severity == validate.SeverityError {
+			sev = SeverityError
+		}
+		out.Violations = append(out.Violations, ValidationViolation{
+			Code:     ValidationCode(v.Code),
+			Severity: sev,
+			A:        v.A,
+			B:        v.B,
+			X:        v.Pos.X,
+			Y:        v.Pos.Y,
+			Detail:   v.Detail,
+		})
+	}
+	return out
+}
+
+// ValidationMode selects what an Engine does with the verifier after each
+// plan (see WithValidation).
+type ValidationMode int
+
+const (
+	// ValidationOff runs no verification (the default).
+	ValidationOff ValidationMode = iota
+	// ValidationAnnotate verifies every plan and attaches the report to
+	// PlanResult.Validation (and thus to the JSON wire form), but never
+	// fails the run.
+	ValidationAnnotate
+	// ValidationStrict verifies every plan and fails Plan with
+	// ErrInvalidPlacement when the report carries error-severity violations.
+	ValidationStrict
+)
+
+// validationError summarizes an invalid report into the ErrInvalidPlacement
+// chain, quoting the first error-severity violation.
+func validationError(rep *ValidationReport) error {
+	first := ""
+	for _, v := range rep.Violations {
+		if v.Severity == SeverityError {
+			first = fmt.Sprintf(" (first: %s: %s)", v.Code, v.Detail)
+			break
+		}
+	}
+	return fmt.Errorf("%w: %d error violation(s)%s", ErrInvalidPlacement, rep.Errors, first)
+}
