@@ -71,6 +71,15 @@ type StageState struct {
 	Device    *topology.Device
 	Netlist   *component.Netlist
 	Collision *frequency.CollisionMap
+
+	// Parallelism is the engine's WithParallelism setting for this run: the
+	// worker-pool bound a backend may fan its internal hot loops out on
+	// (<= 1 means serial). It is a scheduling hint only — a backend MUST
+	// produce identical results at every value, which is why it is not part
+	// of Options and never enters the plan-cache key. Backends with
+	// inherently sequential algorithms (e.g. the annealer's Metropolis
+	// chain) are free to ignore it.
+	Parallelism int
 }
 
 // PlaceOutcome reports a finished global placement.
@@ -81,6 +90,10 @@ type PlaceOutcome struct {
 	Iterations int
 	Runtime    time.Duration
 	AvgIterMS  float64
+	// Overflow is the backend's final density-overflow fraction (0 when the
+	// backend does not track one); benchmark harnesses use it to check
+	// quality parity across worker counts.
+	Overflow float64
 }
 
 // Placer is a global-placement backend. Place mutates st.Netlist instance

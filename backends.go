@@ -24,6 +24,7 @@ func (nesterovPlacer) Name() string { return DefaultPlacerName }
 func (nesterovPlacer) Place(ctx context.Context, st *StageState, obs Observer) (*PlaceOutcome, error) {
 	cfg := place.DefaultConfig()
 	cfg.Seed = st.Options.Seed
+	cfg.Workers = st.Parallelism
 	if st.Options.MaxIters > 0 {
 		cfg.MaxIters = st.Options.MaxIters
 	}
@@ -45,10 +46,15 @@ func (nesterovPlacer) Place(ctx context.Context, st *StageState, obs Observer) (
 		Iterations: res.Iterations,
 		Runtime:    res.Runtime,
 		AvgIterMS:  res.AvgIterMS,
+		Overflow:   res.Overflow,
 	}, nil
 }
 
 // annealPlacer is the seeded simulated-annealing backend of internal/anneal.
+// Its Metropolis chain is inherently sequential (every move's acceptance
+// depends on the state left by the previous one), so it ignores
+// StageState.Parallelism — which is legal: parallelism never changes
+// results, and for this backend it simply does nothing.
 type annealPlacer struct{}
 
 func (annealPlacer) Name() string { return "anneal" }
@@ -104,6 +110,7 @@ func (shelfLegalizer) Legalize(ctx context.Context, st *StageState, region geom.
 	// The Classic baseline gets the classical (frequency-oblivious)
 	// legalizer, exactly as it would from its own engine.
 	cfg.FrequencyAware = st.Options.Scheme == SchemeQplacer
+	cfg.Workers = st.Parallelism
 	cfg.Progress = legalProgress(obs, DefaultLegalizerName)
 	res, err := legal.LegalizeCtx(ctx, st.Netlist, region, st.Options.DeltaC, cfg)
 	if err != nil {
@@ -124,6 +131,7 @@ func (greedyLegalizer) Name() string { return "greedy" }
 func (greedyLegalizer) Legalize(ctx context.Context, st *StageState, region geom.Rect, obs Observer) (*LegalizeOutcome, error) {
 	cfg := legal.DefaultConfig()
 	cfg.FrequencyAware = st.Options.Scheme == SchemeQplacer
+	cfg.Workers = st.Parallelism
 	cfg.Progress = legalProgress(obs, "greedy")
 	res, err := legal.RowScanCtx(ctx, st.Netlist, region, st.Options.DeltaC, cfg)
 	if err != nil {

@@ -1,0 +1,307 @@
+// Command qplacer-bench measures the placement hot path across topologies,
+// backends, and worker counts, and emits a machine-readable benchmark
+// document — the repo's performance trajectory (BENCH_5.json and successors).
+//
+// For every (topology, placer, legalizer) group it runs the pipeline once
+// per worker count on a fresh engine, records the warm per-iteration cost of
+// global placement (ns/iter over a fixed iteration budget, best of -runs),
+// and derives each entry's speedup against the group's serial (workers=1)
+// entry. Because parallelism is bit-deterministic, the HPWL / overflow / P_h
+// columns double as a quality-parity proof: they must match the serial run
+// exactly, and the parity column records that they do.
+//
+// Usage:
+//
+//	qplacer-bench -topologies grid,falcon,eagle -workers 1,2,4 -out BENCH_5.json
+//	qplacer-bench -quick -out bench.json     # CI smoke: grid only, small budget
+//	qplacer-bench -check BENCH_5.json        # validate an existing document
+//
+// The -check mode parses a document and enforces the invariants CI relies
+// on: every entry passed parity, and every group's best parallel speedup
+// clears -min-speedup (a tolerance below 1.0 absorbs scheduler noise and
+// single-core hosts, where parallelism cannot win wall-clock).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"qplacer"
+	"qplacer/internal/place"
+)
+
+// Document is the benchmark file schema. Entries are ordered: groups in
+// sweep order, workers ascending within a group, serial first.
+type Document struct {
+	Tool          string    `json:"tool"`
+	SchemaVersion int       `json:"schema_version"`
+	GeneratedAt   time.Time `json:"generated_at"`
+	Host          Host      `json:"host"`
+	Iterations    int       `json:"iterations"` // global-placement iteration budget per run
+	Runs          int       `json:"runs"`       // measured runs per entry (best kept)
+	Entries       []Entry   `json:"entries"`
+}
+
+// Host pins the machine the numbers came from; speedups are only comparable
+// within one host, and a single-CPU host cannot show real parallel wins.
+type Host struct {
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+// Entry is one (topology, placer, legalizer, workers) measurement.
+type Entry struct {
+	Topology  string `json:"topology"`
+	Placer    string `json:"placer"`
+	Legalizer string `json:"legalizer"`
+	Workers   int    `json:"workers"`
+
+	Iterations int     `json:"iterations"`
+	NsPerIter  int64   `json:"ns_per_iter"` // best measured run
+	PlaceMS    float64 `json:"place_ms"`    // global placement, best run
+	TotalMS    float64 `json:"total_ms"`    // full Plan incl. legalization, best run
+
+	HPWLmm    float64 `json:"hpwl_mm"`
+	Overflow  float64 `json:"overflow"`
+	PhPercent float64 `json:"ph_percent"`
+
+	// SpeedupVsSerial is serial ns/iter divided by this entry's ns/iter
+	// (1.0 for the serial entry itself). ParityVsSerial records that HPWL,
+	// overflow, and P_h matched the serial entry bit-for-bit.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	ParityVsSerial  bool    `json:"parity_vs_serial"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qplacer-bench: ")
+	var (
+		topologies = flag.String("topologies", "grid,falcon,eagle", "comma-separated topologies to sweep")
+		placers    = flag.String("placers", "nesterov", "comma-separated placement backends")
+		legalizers = flag.String("legalizers", "shelf", "comma-separated legalization backends")
+		workers    = flag.String("workers", "1,2,4", "comma-separated worker counts (1 is added if missing: it is the speedup baseline)")
+		iters      = flag.Int("iters", 100, "global-placement iteration budget per run")
+		runs       = flag.Int("runs", 2, "measured runs per entry; the best is kept")
+		warmup     = flag.Int("warmup", 1, "unmeasured warm-up runs per entry")
+		out        = flag.String("out", "", "write the JSON document here (default stdout)")
+		quick      = flag.Bool("quick", false, "CI smoke preset: grid only, workers 1,2, -iters 30, -runs 1")
+		check      = flag.String("check", "", "validate an existing document instead of benchmarking")
+		minSpeedup = flag.Float64("min-speedup", 0.5, "-check: minimum best parallel speedup per group (0.5 tolerates single-core hosts; CI uses 0.7)")
+	)
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkDocument(*check, *minSpeedup); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%s: OK", *check)
+		return
+	}
+
+	if *quick {
+		*topologies, *workers, *iters, *runs, *warmup = "grid", "1,2", 30, 1, 1
+	}
+	workerList, err := parseInts(*workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !contains(workerList, 1) {
+		workerList = append(workerList, 1)
+	}
+	// Ascending order puts the workers=1 entry first in every group: it is
+	// the speedup/parity baseline and must be measured before the entries
+	// that compare against it.
+	sort.Ints(workerList)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	doc := Document{
+		Tool:          "qplacer-bench",
+		SchemaVersion: 1,
+		GeneratedAt:   time.Now().UTC(),
+		Host: Host{
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+		},
+		Iterations: *iters,
+		Runs:       *runs,
+	}
+
+	for _, topo := range splitList(*topologies) {
+		for _, placer := range splitList(*placers) {
+			for _, legalizer := range splitList(*legalizers) {
+				var serial *Entry
+				for _, w := range workerList {
+					e, err := measure(ctx, topo, placer, legalizer, w, *iters, *runs, *warmup)
+					if err != nil {
+						log.Fatal(err)
+					}
+					if e.Workers == 1 { // sorted list: measured first
+						s := e
+						serial = &s
+					}
+					e.SpeedupVsSerial = float64(serial.NsPerIter) / float64(e.NsPerIter)
+					e.ParityVsSerial = e.HPWLmm == serial.HPWLmm &&
+						e.Overflow == serial.Overflow &&
+						e.PhPercent == serial.PhPercent
+					doc.Entries = append(doc.Entries, e)
+					log.Printf("%-7s %s/%s workers=%d  %8.2f ms/place  %7d ns/iter  speedup %.2fx  parity %v",
+						topo, placer, legalizer, w, e.PlaceMS, e.NsPerIter, e.SpeedupVsSerial, e.ParityVsSerial)
+				}
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d entries)", *out, len(doc.Entries))
+}
+
+// measure runs the pipeline warmup+runs times on fresh engines and keeps the
+// fastest measurement. Placements are bit-deterministic, so the quality
+// columns are identical across runs; only the clock varies.
+func measure(ctx context.Context, topo, placer, legalizer string, workers, iters, runs, warmup int) (Entry, error) {
+	e := Entry{
+		Topology: topo, Placer: placer, Legalizer: legalizer,
+		Workers: workers,
+	}
+	opts := qplacer.Options{
+		Topology:  topo,
+		MaxIters:  iters,
+		Placer:    placer,
+		Legalizer: legalizer,
+	}
+	for r := 0; r < warmup+runs; r++ {
+		start := time.Now()
+		// A fresh engine per run: the plan cache would otherwise hand the
+		// second run back the first run's result without doing any work.
+		plan, err := qplacer.New(qplacer.WithParallelism(workers)).
+			Plan(ctx, qplacer.WithOptions(opts))
+		if err != nil {
+			return e, fmt.Errorf("%s/%s/%s workers=%d: %w", topo, placer, legalizer, workers, err)
+		}
+		if r < warmup {
+			continue
+		}
+		totalMS := float64(time.Since(start).Microseconds()) / 1e3
+		nsPerIter := plan.PlaceRuntime.Nanoseconds() / int64(plan.PlaceIterations)
+		if e.NsPerIter == 0 || nsPerIter < e.NsPerIter {
+			e.NsPerIter = nsPerIter
+			e.PlaceMS = float64(plan.PlaceRuntime.Microseconds()) / 1e3
+			e.TotalMS = totalMS
+		}
+		e.Iterations = plan.PlaceIterations
+		e.HPWLmm = place.HPWL(plan.Netlist)
+		e.Overflow = plan.PlaceOverflow
+		e.PhPercent = plan.Metrics.Ph
+	}
+	return e, nil
+}
+
+// checkDocument enforces the CI invariants on an existing document: it
+// parses, every entry passed parity, and each group's best parallel entry
+// clears the speedup floor.
+func checkDocument(path string, minSpeedup float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Entries) == 0 {
+		return fmt.Errorf("%s: no benchmark entries", path)
+	}
+	type group struct{ topo, placer, legalizer string }
+	best := map[group]float64{} // best workers>1 speedup per group
+	seen := map[group]bool{}
+	for _, e := range doc.Entries {
+		if !e.ParityVsSerial {
+			return fmt.Errorf("%s: %s/%s/%s workers=%d failed quality parity vs serial",
+				path, e.Topology, e.Placer, e.Legalizer, e.Workers)
+		}
+		if e.NsPerIter <= 0 {
+			return fmt.Errorf("%s: %s/%s/%s workers=%d has non-positive ns_per_iter",
+				path, e.Topology, e.Placer, e.Legalizer, e.Workers)
+		}
+		g := group{e.Topology, e.Placer, e.Legalizer}
+		seen[g] = true
+		if e.Workers > 1 && e.SpeedupVsSerial > best[g] {
+			best[g] = e.SpeedupVsSerial
+		}
+	}
+	for g := range seen {
+		speedup, ok := best[g]
+		if !ok {
+			// A group without parallel entries proves nothing about the
+			// parallel path; a document of such groups must not pass the
+			// gate that exists to watch that path.
+			return fmt.Errorf("%s: %s/%s/%s has no workers>1 entries to check",
+				path, g.topo, g.placer, g.legalizer)
+		}
+		if speedup < minSpeedup {
+			return fmt.Errorf("%s: %s/%s/%s best parallel speedup %.2fx below floor %.2fx",
+				path, g.topo, g.placer, g.legalizer, speedup, minSpeedup)
+		}
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad worker count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func contains(xs []int, want int) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

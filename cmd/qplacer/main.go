@@ -45,6 +45,7 @@ func main() {
 		legalize = flag.String("legalizer", "", "legalization backend: "+strings.Join(qplacer.Legalizers(), "|")+" (default "+qplacer.DefaultLegalizerName+")")
 		listBE   = flag.Bool("list-backends", false, "print registered placer/legalizer backends and exit")
 		verify   = flag.Bool("verify", false, "independently verify the placement; exit non-zero when invalid")
+		par      = flag.Int("parallelism", 0, "worker pool inside the placement run (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
 	)
 	flag.Parse()
 
@@ -68,6 +69,7 @@ func main() {
 		qplacer.WithLB(*lb),
 		qplacer.WithSeed(*seed),
 		qplacer.WithWorkers(*workers),
+		qplacer.WithParallelism(*par),
 		qplacer.WithPlacer(*placer),
 		qplacer.WithLegalizer(*legalize),
 	}

@@ -48,6 +48,8 @@ func main() {
 			strings.Join(qplacer.Legalizers(), "|"))
 		strict = flag.Bool("strict-validation", false,
 			"fail jobs whose placement carries error-severity violations (422 invalid_placement)")
+		parallelism = flag.Int("parallelism", 0,
+			"worker pool inside each placement run (0 = GOMAXPROCS/workers); results are identical at any value")
 	)
 	flag.Parse()
 
@@ -72,6 +74,7 @@ func main() {
 		DefaultPlacer:    *placer,
 		DefaultLegalizer: *legalize,
 		StrictValidation: *strict,
+		Parallelism:      *parallelism,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

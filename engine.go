@@ -94,8 +94,12 @@ type PlanResult struct {
 	PlaceIterations int
 	PlaceRuntime    time.Duration
 	AvgIterMS       float64
-	NumCells        int
-	Integrated      bool
+	// PlaceOverflow is the placement backend's final density-overflow
+	// fraction (see PlaceOutcome.Overflow); 0 for backends that do not
+	// track one and for the Human baseline.
+	PlaceOverflow float64
+	NumCells      int
+	Integrated    bool
 
 	// Validation is the independent verifier's report, set when the plan ran
 	// under WithValidation (or by the caller via Validate); nil otherwise.
@@ -122,7 +126,7 @@ func (e *Engine) Plan(ctx context.Context, opts ...Option) (*PlanResult, error) 
 	for _, o := range opts {
 		o(&s)
 	}
-	return e.planWith(ctx, s.opts, s.observer, s.validation)
+	return e.planWith(ctx, s.opts, s.observer, s.validation, s.parallelism)
 }
 
 // PlanOptions is Plan taking the options as a struct — the migration path
@@ -130,10 +134,10 @@ func (e *Engine) Plan(ctx context.Context, opts ...Option) (*PlanResult, error) 
 // observer, if one was configured at New, and verifies under the engine-wide
 // validation mode.
 func (e *Engine) PlanOptions(ctx context.Context, opts Options) (*PlanResult, error) {
-	return e.planWith(ctx, opts, e.settings.observer, e.settings.validation)
+	return e.planWith(ctx, opts, e.settings.observer, e.settings.validation, e.settings.parallelism)
 }
 
-func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer, vmode ValidationMode) (*PlanResult, error) {
+func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer, vmode ValidationMode, par int) (*PlanResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -178,10 +182,11 @@ func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer, vmode
 		out.Integrated = true
 	case SchemeQplacer, SchemeClassic:
 		state := &StageState{
-			Options:   norm,
-			Device:    st.device,
-			Netlist:   nl,
-			Collision: st.collision,
+			Options:     norm,
+			Device:      st.device,
+			Netlist:     nl,
+			Collision:   st.collision,
+			Parallelism: par,
 		}
 		placer, err := PlacerByName(norm.Placer)
 		if err != nil {
@@ -195,6 +200,7 @@ func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer, vmode
 		out.PlaceIterations = pres.Iterations
 		out.PlaceRuntime = pres.Runtime
 		out.AvgIterMS = pres.AvgIterMS
+		out.PlaceOverflow = pres.Overflow
 		if !norm.SkipLegalize {
 			legalizer, err := LegalizerByName(norm.Legalizer)
 			if err != nil {

@@ -90,11 +90,13 @@ func goldenName(o Options) string {
 }
 
 // buildFixture runs the full deterministic pipeline for one combination and
-// snapshots everything the corpus pins.
-func buildFixture(t *testing.T, o Options) goldenFixture {
+// snapshots everything the corpus pins. Extra engine options let callers
+// vary how the pipeline runs (e.g. parallelism) without changing what it
+// must produce.
+func buildFixture(t *testing.T, o Options, extra ...Option) goldenFixture {
 	t.Helper()
 	ctx := context.Background()
-	eng := New(WithValidation(ValidationAnnotate))
+	eng := New(append([]Option{WithValidation(ValidationAnnotate)}, extra...)...)
 	plan, err := eng.Plan(ctx, WithOptions(o))
 	if err != nil {
 		t.Fatal(err)
@@ -243,6 +245,36 @@ func TestGoldenCorpus(t *testing.T) {
 			// admits error-severity violations would bless broken backends.
 			if !want.Validation.Valid {
 				t.Errorf("fixture %s records an invalid placement", path)
+			}
+		})
+	}
+}
+
+// TestGoldenCorpusParallel re-runs every corpus combination with the
+// parallel hot path enabled (a worker count chosen to exercise uneven
+// partitions) and holds it to the same serial-generated fixtures:
+// parallelism must be invisible in the output, byte for byte.
+func TestGoldenCorpusParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel corpus re-run skipped in -short mode")
+	}
+	for _, o := range goldenCombos() {
+		o := o
+		t.Run(goldenName(o), func(t *testing.T) {
+			t.Parallel()
+			got := buildFixture(t, o, WithParallelism(3))
+			path := filepath.Join("testdata", "golden", goldenName(o)+".json")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with: go test -run TestGoldenCorpus -update .)", err)
+			}
+			var want goldenFixture
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt fixture %s: %v", path, err)
+			}
+			compareFixture(t, want, got)
+			if t.Failed() {
+				t.Logf("parallel run drifted from the serial fixture %s: the determinism contract is broken", path)
 			}
 		})
 	}

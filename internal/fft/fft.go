@@ -14,6 +14,8 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+
+	"qplacer/internal/parallel"
 )
 
 // IsPow2 reports whether n is a positive power of two.
@@ -203,8 +205,25 @@ func (p *Plan) DST3M(dst, src []float64) {
 
 // Grid2D is an ny×nx row-major matrix of float64 with plans for separable
 // 2-D trigonometric transforms (rows of length nx, columns of length ny).
+// Parallelize spreads the independent 1-D transforms over a worker pool;
+// because every row (and column) is transformed start-to-end by one worker
+// using identical twiddle tables, the output is bit-identical to the serial
+// transform at every pool size.
 type Grid2D struct {
 	NX, NY int
+	px, py *Plan
+	colIn  []float64
+	colOut []float64
+	rowOut []float64
+
+	pool    *parallel.Pool
+	workers []*gridWorker // per-worker plans + scratch, nil when serial
+}
+
+// gridWorker is one worker's private plans and scratch. Plans carry mutable
+// scratch (buf), so concurrent rows need one plan each; the twiddle tables
+// are recomputed from the same closed formulas and are therefore identical.
+type gridWorker struct {
 	px, py *Plan
 	colIn  []float64
 	colOut []float64
@@ -224,6 +243,26 @@ func NewGrid2D(nx, ny int) *Grid2D {
 	}
 }
 
+// Parallelize runs subsequent transforms on the pool (nil restores the
+// serial path). The pool is borrowed, not owned: the caller closes it.
+func (g *Grid2D) Parallelize(p *parallel.Pool) {
+	g.pool = p
+	g.workers = nil
+	if p.Workers() <= 1 {
+		return
+	}
+	g.workers = make([]*gridWorker, p.Workers())
+	for i := range g.workers {
+		g.workers[i] = &gridWorker{
+			px:     NewPlan(g.NX),
+			py:     NewPlan(g.NY),
+			colIn:  make([]float64, g.NY),
+			colOut: make([]float64, g.NY),
+			rowOut: make([]float64, g.NX),
+		}
+	}
+}
+
 type transform1D func(p *Plan, dst, src []float64)
 
 func dct2T(p *Plan, dst, src []float64)  { p.DCT2(dst, src) }
@@ -234,6 +273,29 @@ func dst3mT(p *Plan, dst, src []float64) { p.DST3M(dst, src) }
 func (g *Grid2D) apply(a []float64, rowT, colT transform1D) {
 	if len(a) != g.NX*g.NY {
 		panic("fft: Grid2D size mismatch")
+	}
+	if g.workers != nil {
+		g.pool.For(g.NY, func(w, lo, hi int) {
+			gw := g.workers[w]
+			for y := lo; y < hi; y++ {
+				row := a[y*g.NX : (y+1)*g.NX]
+				rowT(gw.px, gw.rowOut, row)
+				copy(row, gw.rowOut)
+			}
+		})
+		g.pool.For(g.NX, func(w, lo, hi int) {
+			gw := g.workers[w]
+			for x := lo; x < hi; x++ {
+				for y := 0; y < g.NY; y++ {
+					gw.colIn[y] = a[y*g.NX+x]
+				}
+				colT(gw.py, gw.colOut, gw.colIn)
+				for y := 0; y < g.NY; y++ {
+					a[y*g.NX+x] = gw.colOut[y]
+				}
+			}
+		})
+		return
 	}
 	for y := 0; y < g.NY; y++ {
 		row := a[y*g.NX : (y+1)*g.NX]

@@ -18,6 +18,7 @@ import (
 	"qplacer/internal/frequency"
 	"qplacer/internal/geom"
 	"qplacer/internal/mcmf"
+	"qplacer/internal/parallel"
 )
 
 // Config tunes the legalizer.
@@ -47,6 +48,14 @@ type Config struct {
 	// reports completed passes (step out of total), RowScanCtx completed
 	// placement units. It must be fast and non-blocking.
 	Progress func(step, total int)
+
+	// Workers bounds the worker pool for the independent scans — the O(n²)
+	// near-resonant partner map both legalizers rebuild up front and the
+	// min-cost-flow cost matrix — with results identical to a serial run at
+	// every worker count. The packing passes themselves stay sequential:
+	// each greedy decision depends on everything placed before it. 0 or 1
+	// runs serial.
+	Workers int
 }
 
 // DefaultConfig returns production settings.
@@ -104,6 +113,8 @@ type legalizer struct {
 	cell    float64
 	buckets map[[2]int][]int // bucket coord → placed indices
 
+	pool *parallel.Pool // bounds the independent scans; nil runs serial
+
 	stats *Result // live statistics sink
 }
 
@@ -134,32 +145,49 @@ func guardedApart(a, b geom.Point, guard float64) bool {
 }
 
 func (lg *legalizer) setup() {
-	lg.partners = buildPartners(lg.nl, lg.deltaC)
+	lg.partners = buildPartners(lg.nl, lg.deltaC, lg.pool)
 	lg.cell = 1.0
 	lg.buckets = make(map[[2]int][]int)
 }
 
 // buildPartners rebuilds the collision map as an adjacency list:
 // partners[i] holds the near-resonant same-kind instances of i (excluding
-// same-resonator segment pairs, which are one physical wire).
-func buildPartners(nl *component.Netlist, deltaC float64) [][]int {
+// same-resonator segment pairs, which are one physical wire), ascending.
+// With a pool, each worker owns a contiguous range of rows and scans the
+// full instance list per row — independent rows, so the output is identical
+// to the serial half-matrix sweep (which also yields ascending lists).
+func buildPartners(nl *component.Netlist, deltaC float64, pool *parallel.Pool) [][]int {
 	n := len(nl.Instances)
 	partners := make([][]int, n)
+	paired := func(a, b *component.Instance) bool {
+		if a.Kind != b.Kind {
+			return false
+		}
+		if a.Kind == component.KindSegment && a.Resonator == b.Resonator {
+			return false
+		}
+		return frequency.Resonant(a.FreqGHz, b.FreqGHz, deltaC)
+	}
+	if pool != nil {
+		pool.For(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				a := nl.Instances[i]
+				for j := 0; j < n; j++ {
+					if j != i && paired(a, nl.Instances[j]) {
+						partners[i] = append(partners[i], j)
+					}
+				}
+			}
+		})
+		return partners
+	}
 	for i := 0; i < n; i++ {
 		a := nl.Instances[i]
 		for j := i + 1; j < n; j++ {
-			b := nl.Instances[j]
-			if a.Kind != b.Kind {
-				continue
+			if paired(a, nl.Instances[j]) {
+				partners[i] = append(partners[i], j)
+				partners[j] = append(partners[j], i)
 			}
-			if a.Kind == component.KindSegment && a.Resonator == b.Resonator {
-				continue
-			}
-			if !frequency.Resonant(a.FreqGHz, b.FreqGHz, deltaC) {
-				continue
-			}
-			partners[i] = append(partners[i], j)
-			partners[j] = append(partners[j], i)
 		}
 	}
 	return partners
@@ -226,7 +254,9 @@ func LegalizeCtx(ctx context.Context, nl *component.Netlist, region geom.Rect, d
 		// small margin absorbs boundary quantization.
 		bounds: region.Inflate(region.W() * 0.02),
 		byInst: make(map[int]int),
+		pool:   parallel.New(cfg.Workers),
 	}
+	defer lg.pool.Close()
 	lg.setup()
 	res := &Result{}
 	lg.stats = res
@@ -434,13 +464,17 @@ func (lg *legalizer) refineQubits(res *Result, anchors []geom.Point) error {
 	for i, qi := range qubits {
 		sites[i] = lg.nl.Instances[qi].Pos
 	}
+	// Cost rows are independent of each other — the one parallel scan in
+	// this pass; the flow solve itself is sequential.
 	costs := make([][]float64, len(qubits))
-	for i := range qubits {
-		costs[i] = make([]float64, len(sites))
-		for j, s := range sites {
-			costs[i][j] = anchors[i].Dist2(s)
+	lg.pool.For(len(qubits), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			costs[i] = make([]float64, len(sites))
+			for j, s := range sites {
+				costs[i][j] = anchors[i].Dist2(s)
+			}
 		}
-	}
+	})
 	assign, _ := mcmf.Assign(costs)
 	for i, qi := range qubits {
 		in := lg.nl.Instances[qi]

@@ -7,6 +7,7 @@ import (
 
 	"qplacer/internal/component"
 	"qplacer/internal/geom"
+	"qplacer/internal/parallel"
 )
 
 // maxGuardTries bounds how far the row-scan slides an instance forward in
@@ -40,7 +41,11 @@ func RowScanCtx(ctx context.Context, nl *component.Netlist, region geom.Rect, de
 	res := &Result{}
 	var partners [][]int
 	if cfg.FrequencyAware {
-		partners = buildPartners(nl, deltaC)
+		// The partner map is the scan's one superlinear piece; the shelf
+		// packing itself is a sequential sweep by construction.
+		pool := parallel.New(cfg.Workers)
+		partners = buildPartners(nl, deltaC, pool)
+		pool.Close()
 	}
 	bounds := region.Inflate(region.W() * 0.02)
 

@@ -1,0 +1,102 @@
+// Package parallel provides the bounded worker pool behind the placement
+// pipeline's hot paths. Work is split into statically partitioned contiguous
+// index ranges — one per worker, boundaries a pure function of (n, workers) —
+// and every range is processed start-to-end by a single worker. Combined with
+// owner-computes accumulation (each output index written by exactly one
+// worker, inputs visited in ascending index order), this makes results
+// bit-identical to a serial run at every worker count: floating-point sums
+// see the same addends in the same order no matter how the ranges are
+// scheduled.
+package parallel
+
+import "sync"
+
+// Pool is a bounded set of persistent workers. A nil Pool (or one built with
+// workers <= 1) runs everything serially on the calling goroutine, so hot
+// paths need no branching between serial and parallel modes. A Pool must be
+// released with Close; it is safe for use by one dispatching goroutine at a
+// time (the pipeline's model: one run drives one pool).
+type Pool struct {
+	workers int
+	tasks   []chan task
+	wg      sync.WaitGroup
+}
+
+type task struct {
+	fn      func(worker, lo, hi int)
+	lo, hi  int
+	worker  int
+	barrier *sync.WaitGroup
+}
+
+// New returns a pool of the given size. Sizes <= 1 return nil: the nil pool
+// is the serial pool.
+func New(workers int) *Pool {
+	if workers <= 1 {
+		return nil
+	}
+	p := &Pool{workers: workers}
+	// workers-1 goroutines; the dispatching goroutine always runs range 0
+	// itself, so a pool never sits idle while its owner blocks.
+	p.tasks = make([]chan task, workers-1)
+	for i := range p.tasks {
+		ch := make(chan task)
+		p.tasks[i] = ch
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for t := range ch {
+				t.fn(t.worker, t.lo, t.hi)
+				t.barrier.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size; a nil pool reports 1.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// For partitions [0, n) into Workers() contiguous ranges and runs
+// fn(worker, lo, hi) once per non-empty range, blocking until all complete.
+// Range boundaries depend only on n and the pool size. fn must not call For
+// on the same pool.
+func (p *Pool) For(n int, fn func(worker, lo, hi int)) {
+	if p == nil || n <= 0 {
+		if n > 0 {
+			fn(0, 0, n)
+		}
+		return
+	}
+	var barrier sync.WaitGroup
+	for w := 1; w < p.workers; w++ {
+		lo, hi := w*n/p.workers, (w+1)*n/p.workers
+		if lo >= hi {
+			continue
+		}
+		barrier.Add(1)
+		p.tasks[w-1] <- task{fn: fn, lo: lo, hi: hi, worker: w, barrier: &barrier}
+	}
+	if hi := n / p.workers; hi > 0 {
+		fn(0, 0, hi)
+	}
+	barrier.Wait()
+}
+
+// Close releases the pool's goroutines. Close on a nil pool is a no-op;
+// double Close panics (like closing a closed channel), so release exactly
+// once.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	for _, ch := range p.tasks {
+		close(ch)
+	}
+	p.wg.Wait()
+}

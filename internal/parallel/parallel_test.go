@@ -1,0 +1,110 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestCoverage proves every index lands in exactly one range, at sizes
+// around the partition edge cases (empty, n < workers, n % workers != 0).
+func TestCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7} {
+		p := New(workers)
+		for _, n := range []int{0, 1, 2, 3, 5, 16, 1023} {
+			hits := make([]int32, n)
+			p.For(n, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestStaticPartition pins that range boundaries are a pure function of
+// (n, workers): two dispatches see identical ranges.
+func TestStaticPartition(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	collect := func() map[int][2]int {
+		out := make(map[int][2]int)
+		var mu chan struct{} = make(chan struct{}, 1)
+		mu <- struct{}{}
+		p.For(100, func(w, lo, hi int) {
+			<-mu
+			out[w] = [2]int{lo, hi}
+			mu <- struct{}{}
+		})
+		return out
+	}
+	a, b := collect(), collect()
+	if len(a) != len(b) {
+		t.Fatalf("partition drifted: %v vs %v", a, b)
+	}
+	for w, r := range a {
+		if b[w] != r {
+			t.Fatalf("worker %d range drifted: %v vs %v", w, r, b[w])
+		}
+	}
+}
+
+// TestNilPoolSerial asserts the nil pool runs inline on the caller.
+func TestNilPoolSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", p.Workers())
+	}
+	ran := false
+	p.For(10, func(w, lo, hi int) {
+		if w != 0 || lo != 0 || hi != 10 {
+			t.Fatalf("nil pool range = (%d, %d, %d), want (0, 0, 10)", w, lo, hi)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("nil pool did not run the body")
+	}
+	p.Close() // no-op, must not panic
+}
+
+// TestOwnerComputesDeterminism is the property the placer relies on: with
+// per-output accumulation, a float sum is bit-identical at every pool size.
+func TestOwnerComputesDeterminism(t *testing.T) {
+	const n = 4096
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = 1.0 / float64(i+3)
+	}
+	sum := func(workers int) []float64 {
+		p := New(workers)
+		defer p.Close()
+		out := make([]float64, n)
+		p.For(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				// Each output folds a mini prefix in ascending order,
+				// mimicking the gradient kernels' incident-edge loops.
+				s := 0.0
+				for k := 0; k < 8; k++ {
+					s += in[(i+k)%n]
+				}
+				out[i] = s
+			}
+		})
+		return out
+	}
+	want := sum(1)
+	for _, workers := range []int{2, 3, 5} {
+		got := sum(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, want %v (bitwise)", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"qplacer/internal/frequency"
 	"qplacer/internal/geom"
 	"qplacer/internal/optim"
+	"qplacer/internal/parallel"
 	"qplacer/internal/poisson"
 )
 
@@ -41,6 +42,7 @@ const (
 	ModeClassic
 )
 
+// String names the mode ("qplacer", "classic").
 func (m Mode) String() string {
 	switch m {
 	case ModeQplacer:
@@ -83,6 +85,15 @@ type Config struct {
 
 	// Seed drives the deterministic initial-placement jitter.
 	Seed int64
+
+	// Workers bounds the worker pool the per-iteration gradient evaluation
+	// fans out on (wirelength, density rasterization, the spectral Poisson
+	// solve, frequency/chain pair repulsion, walls). 0 or 1 runs the serial
+	// path. Parallel runs are bit-identical to serial ones at every worker
+	// count: work is statically partitioned and every output index is
+	// accumulated by exactly one worker in the serial visit order, so this
+	// knob trades wall-clock for cores, never results.
+	Workers int
 
 	// Trace, when non-nil, receives per-iteration diagnostics. Enabling it
 	// costs an extra gradient evaluation per iteration.
@@ -182,6 +193,61 @@ type engine struct {
 	chainPairs                     [][2]int
 	chainR0                        float64
 	qubitPairs, segPairs           [][2]int // collision map split by kind
+
+	// Parallel state (nil/empty when Workers <= 1). The incidence
+	// structures drive owner-computes accumulation: instNets[i] (ascending
+	// net indices) and the per-family CSR incidence (ascending pair
+	// indices) let the worker that owns instance i fold exactly the
+	// serial-order contributions into grad[2i], grad[2i+1]. The contrib
+	// buffers collect per-net / per-pair scalar terms, reduced serially in
+	// index order so objective values keep their serial bits too.
+	pool             *parallel.Pool
+	instNets         [][]int32
+	incQ, incS, incC incidenceCSR
+	netContrib       []float64
+	pairContrib      []float64
+	rasterLo         []int32 // per-instance clamped bin-row span, refreshed
+	rasterHi         []int32 // each densityGrad so workers skip cheaply
+}
+
+// incidenceCSR is a pair family inverted into compressed-sparse-row form:
+// instance i's incident half-edges occupy entries start[i]..start[i+1], in
+// ascending pair order (the serial visit order). Each entry stores the
+// opposite instance and, when i is the pair's first endpoint, the pair index
+// to write the scalar contribution to (-1 otherwise). The flat layout keeps
+// the hot loop streaming instead of chasing [][2]int at random.
+type incidenceCSR struct {
+	start      []int32
+	other      []int32
+	contribIdx []int32
+}
+
+// buildIncidence inverts an edge list into CSR incidence.
+func buildIncidence(n int, edges [][2]int) incidenceCSR {
+	deg := make([]int32, n+1)
+	for _, ed := range edges {
+		deg[ed[0]+1]++
+		deg[ed[1]+1]++
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	inc := incidenceCSR{
+		start:      deg,
+		other:      make([]int32, 2*len(edges)),
+		contribIdx: make([]int32, 2*len(edges)),
+	}
+	fill := append([]int32(nil), deg[:n]...)
+	for k, ed := range edges {
+		a, b := ed[0], ed[1]
+		inc.other[fill[a]] = int32(b)
+		inc.contribIdx[fill[a]] = int32(k)
+		fill[a]++
+		inc.other[fill[b]] = int32(a)
+		inc.contribIdx[fill[b]] = -1
+		fill[b]++
+	}
+	return inc
 }
 
 // Place runs global placement on the netlist, mutating instance positions.
@@ -204,24 +270,12 @@ func PlaceCtx(ctx context.Context, nl *component.Netlist, cm *frequency.Collisio
 	if cfg.Mode == ModeQplacer && cm == nil {
 		return nil, fmt.Errorf("place: Qplacer mode requires a collision map")
 	}
-	n := len(nl.Instances)
-	if n == 0 {
+	if len(nl.Instances) == 0 {
 		return nil, fmt.Errorf("place: empty netlist")
 	}
 
-	e := &engine{cfg: cfg, nl: nl, cm: cm}
-	e.setupRegion()
-	e.setupBins()
-	e.initialPositions()
-
-	e.gradWL = make([]float64, 2*n)
-	e.gradD = make([]float64, 2*n)
-	e.gradFQ = make([]float64, 2*n)
-	e.gradFS = make([]float64, 2*n)
-	e.gradWall = make([]float64, 2*n)
-	e.gradC = make([]float64, 2*n)
-	e.setupChainPairs()
-	e.splitCollisionPairs()
+	e := newEngine(nl, cm, cfg)
+	defer e.close()
 
 	// Penalty control: instead of multiplying λ unboundedly (which lets the
 	// density term outgrow the wirelength term by orders of magnitude and
@@ -346,6 +400,32 @@ func PlaceCtx(ctx context.Context, nl *component.Netlist, cm *frequency.Collisio
 	}, nil
 }
 
+// newEngine builds the per-run state: region and bins, seeded initial
+// positions, gradient scratch, the pair structures, and (when cfg.Workers
+// asks for it) the worker pool plus owner-computes incidence lists. Callers
+// must release the pool with close.
+func newEngine(nl *component.Netlist, cm *frequency.CollisionMap, cfg Config) *engine {
+	e := &engine{cfg: cfg, nl: nl, cm: cm}
+	e.setupRegion()
+	e.setupBins()
+	e.initialPositions()
+
+	n := len(nl.Instances)
+	e.gradWL = make([]float64, 2*n)
+	e.gradD = make([]float64, 2*n)
+	e.gradFQ = make([]float64, 2*n)
+	e.gradFS = make([]float64, 2*n)
+	e.gradWall = make([]float64, 2*n)
+	e.gradC = make([]float64, 2*n)
+	e.setupChainPairs()
+	e.splitCollisionPairs()
+	e.setupParallel()
+	return e
+}
+
+// close releases the engine's worker pool (a no-op for serial runs).
+func (e *engine) close() { e.pool.Close() }
+
 func (e *engine) setupRegion() {
 	area := TotalChargeArea(e.nl) / e.cfg.TargetDensity
 	side := math.Sqrt(area)
@@ -447,10 +527,63 @@ func (e *engine) setupChainPairs() {
 	}
 }
 
+// setupParallel builds the worker pool and the owner-computes incidence
+// structures when the config asks for more than one worker. The pool is
+// closed by PlaceCtx when the run ends.
+func (e *engine) setupParallel() {
+	e.pool = parallel.New(e.cfg.Workers)
+	if e.pool == nil {
+		return
+	}
+	e.solver.Parallelize(e.pool)
+	n := len(e.nl.Instances)
+	e.instNets = incidence(n, e.nl.Nets)
+	e.incQ = buildIncidence(n, e.qubitPairs)
+	e.incS = buildIncidence(n, e.segPairs)
+	e.incC = buildIncidence(n, e.chainPairs)
+	e.netContrib = make([]float64, len(e.nl.Nets))
+	maxPairs := len(e.qubitPairs)
+	if len(e.segPairs) > maxPairs {
+		maxPairs = len(e.segPairs)
+	}
+	if len(e.chainPairs) > maxPairs {
+		maxPairs = len(e.chainPairs)
+	}
+	e.pairContrib = make([]float64, maxPairs)
+	e.rasterLo = make([]int32, n)
+	e.rasterHi = make([]int32, n)
+}
+
+// incidence inverts an edge list into per-instance lists of incident edge
+// indices, ascending — the order the serial scatter loops visit them in, so
+// owner-computes accumulation reproduces the serial bits.
+func incidence(n int, edges [][2]int) [][]int32 {
+	deg := make([]int, n)
+	for _, ed := range edges {
+		deg[ed[0]]++
+		deg[ed[1]]++
+	}
+	backing := make([]int32, 2*len(edges))
+	out := make([][]int32, n)
+	pos := 0
+	for i := 0; i < n; i++ {
+		out[i] = backing[pos : pos : pos+deg[i]]
+		pos += deg[i]
+	}
+	for k, ed := range edges {
+		out[ed[0]] = append(out[ed[0]], int32(k))
+		out[ed[1]] = append(out[ed[1]], int32(k))
+	}
+	return out
+}
+
 // chainGrad evaluates the same polynomial contact repulsion over stacked
 // same-resonator segment pairs (radius chainR0), keeping reserved wire-block
 // space disjoint during global placement.
 func (e *engine) chainGrad(xy []float64) float64 {
+	if e.pool != nil {
+		return e.pairRepulsionOwner(xy, len(e.chainPairs), e.incC, e.gradC, e.chainR0)
+	}
 	for i := range e.gradC {
 		e.gradC[i] = 0
 	}
@@ -468,14 +601,17 @@ func (e *engine) evalComponents(xy []float64) (wl, dEnergy, fq, fs, cPot float64
 	return wl, dEnergy, fq, fs, cPot
 }
 
-// gradient is the optim.GradFunc: total objective and gradient.
+// gradient is the optim.GradFunc: total objective and gradient. The
+// per-coordinate combine is independent across indices, so it fans out.
 func (e *engine) gradient(xy []float64, grad []float64) float64 {
 	wl, dEnergy, fq, fs, cPot := e.evalComponents(xy)
-	for i := range grad {
-		grad[i] = e.gradWL[i] + e.lambda*e.gradD[i] +
-			e.lambdaFQ*e.gradFQ[i] + e.lambdaFS*e.gradFS[i] +
-			e.lambdaC*e.gradC[i] + e.wall*e.gradWall[i]
-	}
+	e.pool.For(len(grad), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			grad[i] = e.gradWL[i] + e.lambda*e.gradD[i] +
+				e.lambdaFQ*e.gradFQ[i] + e.lambdaFS*e.gradFS[i] +
+				e.lambdaC*e.gradC[i] + e.wall*e.gradWall[i]
+		}
+	})
 	return wl + e.lambda*dEnergy + e.lambdaFQ*fq + e.lambdaFS*fs + e.lambdaC*cPot
 }
 
@@ -499,11 +635,46 @@ func (e *engine) netWeight(a, b int) float64 {
 // wirelengthGrad computes the smoothed wirelength Σ w·√(Δ²+γ²) per axis
 // over all 2-pin nets and its gradient.
 func (e *engine) wirelengthGrad(xy []float64) float64 {
+	g2 := e.gamma * e.gamma
+	if e.pool != nil {
+		// Owner-computes fan-out: each worker folds its instances' incident
+		// nets (ascending net index, the serial visit order) into their two
+		// coordinates; per-net length terms land in netContrib (written by
+		// the first endpoint's owner) and reduce in serial net order.
+		e.pool.For(len(e.nl.Instances), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				var gx, gy float64
+				for _, k := range e.instNets[i] {
+					net := e.nl.Nets[k]
+					a, b := net[0], net[1]
+					w := e.netWeight(a, b)
+					dx := xy[2*a] - xy[2*b]
+					dy := xy[2*a+1] - xy[2*b+1]
+					sx := math.Sqrt(dx*dx + g2)
+					sy := math.Sqrt(dy*dy + g2)
+					if i == a {
+						gx += w * dx / sx
+						gy += w * dy / sy
+						e.netContrib[k] = w * (sx + sy - 2*e.gamma)
+					} else {
+						gx -= w * dx / sx
+						gy -= w * dy / sy
+					}
+				}
+				e.gradWL[2*i] = gx
+				e.gradWL[2*i+1] = gy
+			}
+		})
+		var total float64
+		for _, c := range e.netContrib {
+			total += c
+		}
+		return total
+	}
 	for i := range e.gradWL {
 		e.gradWL[i] = 0
 	}
 	var total float64
-	g2 := e.gamma * e.gamma
 	for _, net := range e.nl.Nets {
 		a, b := net[0], net[1]
 		w := e.netWeight(a, b)
@@ -524,47 +695,81 @@ func (e *engine) wirelengthGrad(xy []float64) float64 {
 // density gradient −q·E per instance. Returns the electrostatic energy.
 func (e *engine) densityGrad(xy []float64) float64 {
 	s := e.solver
-	for i := range s.Density {
-		s.Density[i] = 0
-	}
 	binArea := s.HX * s.HY
 	nx, ny := s.NX, s.NY
 
-	for i := range e.nl.Instances {
-		cx, cy := xy[2*i], xy[2*i+1]
-		w, h := e.chargeW[i], e.chargeH[i]
-		// Local smoothing: stretch tiny cells to at least one bin while
-		// conserving charge.
-		sw, sh := math.Max(w, s.HX), math.Max(h, s.HY)
-		scale := (w * h) / (sw * sh)
-		x0 := cx - sw/2
-		y0 := cy - sh/2
-		bx0 := int(math.Floor(x0 / s.HX))
-		by0 := int(math.Floor(y0 / s.HY))
-		bx1 := int(math.Ceil((x0 + sw) / s.HX))
-		by1 := int(math.Ceil((y0 + sh) / s.HY))
-		for by := by0; by < by1; by++ {
-			if by < 0 || by >= ny {
+	// Rasterization is partitioned by bin row: each worker zeroes and fills
+	// the rows it owns, visiting instances in ascending index order (the
+	// serial accumulation order per bin), with the instance's row span
+	// clipped to the owned band. The serial path is the lo=0, hi=ny case.
+	// When parallel, a per-instance prefilter pins each instance's clamped
+	// row span first, so the per-band sweeps skip non-overlapping instances
+	// with two int compares instead of redoing the bbox float math W times.
+	if e.pool != nil {
+		e.pool.For(len(e.nl.Instances), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				cy := xy[2*i+1]
+				sh := math.Max(e.chargeH[i], s.HY)
+				y0 := cy - sh/2
+				by0 := int(math.Floor(y0 / s.HY))
+				by1 := int(math.Ceil((y0 + sh) / s.HY))
+				if by0 < 0 {
+					by0 = 0
+				}
+				if by1 > ny {
+					by1 = ny
+				}
+				e.rasterLo[i] = int32(by0)
+				e.rasterHi[i] = int32(by1)
+			}
+		})
+	}
+	e.pool.For(ny, func(_, rowLo, rowHi int) {
+		for i := rowLo * nx; i < rowHi*nx; i++ {
+			s.Density[i] = 0
+		}
+		for i := range e.nl.Instances {
+			if e.pool != nil && (int(e.rasterLo[i]) >= rowHi || int(e.rasterHi[i]) <= rowLo) {
 				continue
 			}
-			yLo := math.Max(y0, float64(by)*s.HY)
-			yHi := math.Min(y0+sh, float64(by+1)*s.HY)
-			if yHi <= yLo {
-				continue
+			cx, cy := xy[2*i], xy[2*i+1]
+			w, h := e.chargeW[i], e.chargeH[i]
+			// Local smoothing: stretch tiny cells to at least one bin while
+			// conserving charge.
+			sw, sh := math.Max(w, s.HX), math.Max(h, s.HY)
+			scale := (w * h) / (sw * sh)
+			x0 := cx - sw/2
+			y0 := cy - sh/2
+			bx0 := int(math.Floor(x0 / s.HX))
+			by0 := int(math.Floor(y0 / s.HY))
+			bx1 := int(math.Ceil((x0 + sw) / s.HX))
+			by1 := int(math.Ceil((y0 + sh) / s.HY))
+			if by0 < rowLo {
+				by0 = rowLo
 			}
-			for bx := bx0; bx < bx1; bx++ {
-				if bx < 0 || bx >= nx {
+			if by1 > rowHi {
+				by1 = rowHi
+			}
+			for by := by0; by < by1; by++ {
+				yLo := math.Max(y0, float64(by)*s.HY)
+				yHi := math.Min(y0+sh, float64(by+1)*s.HY)
+				if yHi <= yLo {
 					continue
 				}
-				xLo := math.Max(x0, float64(bx)*s.HX)
-				xHi := math.Min(x0+sw, float64(bx+1)*s.HX)
-				if xHi <= xLo {
-					continue
+				for bx := bx0; bx < bx1; bx++ {
+					if bx < 0 || bx >= nx {
+						continue
+					}
+					xLo := math.Max(x0, float64(bx)*s.HX)
+					xHi := math.Min(x0+sw, float64(bx+1)*s.HX)
+					if xHi <= xLo {
+						continue
+					}
+					s.Density[by*nx+bx] += (xHi - xLo) * (yHi - yLo) * scale / binArea
 				}
-				s.Density[by*nx+bx] += (xHi - xLo) * (yHi - yLo) * scale / binArea
 			}
 		}
-	}
+	})
 
 	// Overflow measures physical overlap: charge density above 1.0 means
 	// instances stacked on top of each other (a cell body alone rasterizes
@@ -582,12 +787,16 @@ func (e *engine) densityGrad(xy []float64) float64 {
 	}
 
 	s.Solve()
-	for i := range e.nl.Instances {
-		q := e.chargeW[i] * e.chargeH[i]
-		cx, cy := xy[2*i], xy[2*i+1]
-		e.gradD[2*i] = -q * s.At(s.Ex, cx, cy)
-		e.gradD[2*i+1] = -q * s.At(s.Ey, cx, cy)
-	}
+	// Field sampling writes each instance's own two coordinates from the
+	// read-only solved fields — embarrassingly parallel.
+	e.pool.For(len(e.nl.Instances), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			q := e.chargeW[i] * e.chargeH[i]
+			cx, cy := xy[2*i], xy[2*i+1]
+			e.gradD[2*i] = -q * s.At(s.Ex, cx, cy)
+			e.gradD[2*i+1] = -q * s.At(s.Ey, cx, cy)
+		}
+	})
 	return s.Energy()
 }
 
@@ -644,15 +853,74 @@ func pairRepulsion(xy []float64, pairs [][2]int, grad []float64, rcut float64) f
 	return total
 }
 
+// pairRepulsionOwner is pairRepulsion fanned out over the pool with
+// owner-computes accumulation: each worker owns a contiguous instance range
+// and folds that range's incident pairs (ascending pair index — the serial
+// visit order) into its own gradient entries, so no two workers touch one
+// coordinate and the sums keep their serial bits. The loop is role-free:
+// with Δ measured from the owner (dx = x_i − x_j), IEEE negation symmetry
+// (fl(−t) = −fl(t) for subtraction and multiplication, g + (−u) ≡ g − u)
+// makes "gx −= scale·dx" reproduce the serial bits for both pair endpoints.
+// Per-pair potential terms land in e.pairContrib (written by the owner of
+// the pair's first instance, contribIdx >= 0) and reduce to the total in
+// serial pair order; out-of-range pairs record an exact 0, which leaves the
+// running float sum untouched.
+func (e *engine) pairRepulsionOwner(xy []float64, numPairs int, inc incidenceCSR, grad []float64, rcut float64) float64 {
+	r2 := rcut * rcut
+	r3 := r2 * rcut
+	contrib := e.pairContrib[:numPairs]
+	e.pool.For(len(grad)/2, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var gx, gy float64
+			xi, yi := xy[2*i], xy[2*i+1]
+			for m := inc.start[i]; m < inc.start[i+1]; m++ {
+				j := int(inc.other[m])
+				dx := xi - xy[2*j]
+				dy := yi - xy[2*j+1]
+				d2 := dx*dx + dy*dy
+				if d2 >= r2 {
+					if k := inc.contribIdx[m]; k >= 0 {
+						contrib[k] = 0
+					}
+					continue
+				}
+				gap := r2 - d2
+				scale := 4 * gap / r3
+				gx -= scale * dx
+				gy -= scale * dy
+				if k := inc.contribIdx[m]; k >= 0 {
+					contrib[k] = gap * gap / r3
+				}
+			}
+			grad[2*i] = gx
+			grad[2*i+1] = gy
+		}
+	})
+	var total float64
+	for _, c := range contrib {
+		total += c
+	}
+	return total
+}
+
 // frequencyGrad evaluates the frequency repulsive potential of Eqs. 9-10,
 // split into qubit and segment components.
 func (e *engine) frequencyGrad(xy []float64) (fq, fs float64) {
+	if e.cm == nil || e.cfg.Mode == ModeClassic {
+		for i := range e.gradFQ {
+			e.gradFQ[i] = 0
+			e.gradFS[i] = 0
+		}
+		return 0, 0
+	}
+	if e.pool != nil {
+		fq = e.pairRepulsionOwner(xy, len(e.qubitPairs), e.incQ, e.gradFQ, e.cfg.FreqCutoffMM)
+		fs = e.pairRepulsionOwner(xy, len(e.segPairs), e.incS, e.gradFS, e.cfg.FreqCutoffSegMM)
+		return fq, fs
+	}
 	for i := range e.gradFQ {
 		e.gradFQ[i] = 0
 		e.gradFS[i] = 0
-	}
-	if e.cm == nil || e.cfg.Mode == ModeClassic {
-		return 0, 0
 	}
 	fq = pairRepulsion(xy, e.qubitPairs, e.gradFQ, e.cfg.FreqCutoffMM)
 	fs = pairRepulsion(xy, e.segPairs, e.gradFS, e.cfg.FreqCutoffSegMM)
@@ -660,29 +928,31 @@ func (e *engine) frequencyGrad(xy []float64) (fq, fs float64) {
 }
 
 // wallGrad adds a quadratic boundary spring pulling instances back into the
-// region (smooth substitute for hard clamping during optimization).
+// region (smooth substitute for hard clamping during optimization). Each
+// instance owns its two coordinates, so the fan-out preserves bits.
 func (e *engine) wallGrad(xy []float64) {
-	for i := range e.gradWall {
-		e.gradWall[i] = 0
-	}
 	r := e.region
-	for i := range e.nl.Instances {
-		hw := e.chargeW[i] / 2
-		hh := e.chargeH[i] / 2
-		x, y := xy[2*i], xy[2*i+1]
-		if v := x - hw - r.Lo.X; v < 0 {
-			e.gradWall[2*i] += 2 * v
+	e.pool.For(len(e.nl.Instances), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e.gradWall[2*i] = 0
+			e.gradWall[2*i+1] = 0
+			hw := e.chargeW[i] / 2
+			hh := e.chargeH[i] / 2
+			x, y := xy[2*i], xy[2*i+1]
+			if v := x - hw - r.Lo.X; v < 0 {
+				e.gradWall[2*i] += 2 * v
+			}
+			if v := x + hw - r.Hi.X; v > 0 {
+				e.gradWall[2*i] += 2 * v
+			}
+			if v := y - hh - r.Lo.Y; v < 0 {
+				e.gradWall[2*i+1] += 2 * v
+			}
+			if v := y + hh - r.Hi.Y; v > 0 {
+				e.gradWall[2*i+1] += 2 * v
+			}
 		}
-		if v := x + hw - r.Hi.X; v > 0 {
-			e.gradWall[2*i] += 2 * v
-		}
-		if v := y - hh - r.Lo.Y; v < 0 {
-			e.gradWall[2*i+1] += 2 * v
-		}
-		if v := y + hh - r.Hi.Y; v > 0 {
-			e.gradWall[2*i+1] += 2 * v
-		}
-	}
+	})
 }
 
 func (e *engine) clampInto(xy []float64) {

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"qplacer/internal/fft"
+	"qplacer/internal/parallel"
 )
 
 // Solver holds the grid geometry, the input density and the solution fields.
@@ -29,6 +30,7 @@ type Solver struct {
 	Ex, Ey  []float64 // field components E = −∇ψ
 
 	grid   *fft.Grid2D
+	pool   *parallel.Pool
 	coeff  []float64 // DCT coefficients of ρ, then scaled
 	bufPsi []float64
 	bufEx  []float64
@@ -68,6 +70,15 @@ func NewSolver(nx, ny int, hx, hy float64) *Solver {
 	return s
 }
 
+// Parallelize runs subsequent Solves on the pool: the grid's independent
+// row/column transforms and the per-row coefficient scaling fan out, so the
+// solution is bit-identical at every pool size. The pool is borrowed, not
+// owned: the caller closes it. nil restores the serial path.
+func (s *Solver) Parallelize(p *parallel.Pool) {
+	s.pool = p
+	s.grid.Parallelize(p)
+}
+
 // Solve computes Psi, Ex and Ey from the current Density.
 func (s *Solver) Solve() {
 	nx, ny := s.NX, s.NY
@@ -76,22 +87,25 @@ func (s *Solver) Solve() {
 
 	// Normalize the analysis coefficients so that SynthCosCos (with its
 	// halved u=0 / v=0 terms) reconstructs the input exactly, then divide by
-	// the Laplacian eigenvalues.
+	// the Laplacian eigenvalues. Rows are independent (owner-computes), so
+	// the fan-out preserves bits.
 	norm := 4 / float64(nx*ny)
-	for v := 0; v < ny; v++ {
-		for u := 0; u < nx; u++ {
-			i := v*nx + u
-			if u == 0 && v == 0 {
-				s.bufPsi[i], s.bufEx[i], s.bufEy[i] = 0, 0, 0
-				continue
+	s.pool.For(ny, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			for u := 0; u < nx; u++ {
+				i := v*nx + u
+				if u == 0 && v == 0 {
+					s.bufPsi[i], s.bufEx[i], s.bufEy[i] = 0, 0, 0
+					continue
+				}
+				lambda := s.wx[u]*s.wx[u] + s.wy[v]*s.wy[v]
+				c := s.coeff[i] * norm / lambda
+				s.bufPsi[i] = c
+				s.bufEx[i] = c * s.wx[u]
+				s.bufEy[i] = c * s.wy[v]
 			}
-			lambda := s.wx[u]*s.wx[u] + s.wy[v]*s.wy[v]
-			c := s.coeff[i] * norm / lambda
-			s.bufPsi[i] = c
-			s.bufEx[i] = c * s.wx[u]
-			s.bufEy[i] = c * s.wy[v]
 		}
-	}
+	})
 
 	copy(s.Psi, s.bufPsi)
 	s.grid.SynthCosCos(s.Psi)

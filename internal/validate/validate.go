@@ -31,6 +31,8 @@ const (
 	SeverityError
 )
 
+// String names the severity ("warning", "error"), as serialized in
+// violation JSON.
 func (s Severity) String() string {
 	switch s {
 	case SeverityWarning:

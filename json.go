@@ -136,6 +136,7 @@ type planResultJSON struct {
 	PlaceIterations int               `json:"place_iterations"`
 	PlaceRuntimeMS  float64           `json:"place_runtime_ms"`
 	AvgIterMS       float64           `json:"avg_iter_ms"`
+	PlaceOverflow   float64           `json:"place_overflow"`
 	NumCells        int               `json:"num_cells"`
 	Integrated      bool              `json:"integrated"`
 	Validation      *ValidationReport `json:"validation,omitempty"`
@@ -153,6 +154,7 @@ func (p *PlanResult) MarshalJSON() ([]byte, error) {
 		PlaceIterations: p.PlaceIterations,
 		PlaceRuntimeMS:  float64(p.PlaceRuntime.Microseconds()) / 1e3,
 		AvgIterMS:       p.AvgIterMS,
+		PlaceOverflow:   p.PlaceOverflow,
 		NumCells:        p.NumCells,
 		Integrated:      p.Integrated,
 		Validation:      p.Validation,

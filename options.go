@@ -20,6 +20,8 @@ const (
 	SchemeHuman
 )
 
+// String returns the scheme's wire name ("qplacer", "classic", "human"),
+// the same form ParseScheme accepts and JSON marshalling emits.
 func (s Scheme) String() string {
 	switch s {
 	case SchemeQplacer:
@@ -129,16 +131,22 @@ func (o Options) normalized() (Options, error) {
 }
 
 // settings is the merged engine + per-call configuration that functional
-// options operate on.
+// options operate on. Knobs that change results live in Options (the cache
+// key); knobs that only change how results are computed — worker counts,
+// observers, validation — live beside it.
 type settings struct {
-	opts       Options
-	workers    int
-	observer   Observer
-	validation ValidationMode
+	opts        Options
+	workers     int
+	parallelism int
+	observer    Observer
+	validation  ValidationMode
 }
 
 func defaultSettings() settings {
-	return settings{workers: runtime.GOMAXPROCS(0)}
+	return settings{
+		workers:     runtime.GOMAXPROCS(0),
+		parallelism: runtime.GOMAXPROCS(0),
+	}
 }
 
 // Option configures an Engine at construction (New) or one call (Plan).
@@ -217,11 +225,35 @@ func WithOptions(o Options) Option {
 	return func(s *settings) { s.opts = o }
 }
 
-// WithWorkers bounds the EvaluateAll worker pool (default GOMAXPROCS).
+// WithWorkers bounds the EvaluateAll worker pool (default GOMAXPROCS). It
+// controls how many benchmarks are evaluated concurrently; for the worker
+// pool inside a single placement, see WithParallelism.
 func WithWorkers(n int) Option {
 	return func(s *settings) {
 		if n > 0 {
 			s.workers = n
+		}
+	}
+}
+
+// WithParallelism bounds the worker pool a single placement's hot path fans
+// out on — the per-iteration gradient components (wirelength, density bins
+// and the spectral Poisson solve, frequency and chain pair repulsion) and
+// the legalizers' independent scans. The default is GOMAXPROCS; 1 restores
+// the serial path; n <= 0 resets to the default.
+//
+// Parallelism never changes results: work is statically partitioned and
+// accumulated owner-computes, so placements are bit-identical at every
+// worker count. It is therefore deliberately NOT part of Options and never
+// enters the plan-cache key — plans computed at different parallelism are
+// interchangeable cache hits. As an engine option it applies to every plan;
+// as a per-call option to that call only.
+func WithParallelism(n int) Option {
+	return func(s *settings) {
+		if n > 0 {
+			s.parallelism = n
+		} else {
+			s.parallelism = runtime.GOMAXPROCS(0)
 		}
 	}
 }

@@ -1,0 +1,99 @@
+package qplacer
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// fastGridOpts is a quick deterministic grid run used by the parallelism tests.
+func fastGridOpts() Options {
+	return Options{Topology: "grid", MaxIters: 20}
+}
+
+// TestParallelismExcludedFromPlanCacheKey pins the WithParallelism contract:
+// parallelism never changes results, so plans computed at different worker
+// counts must share one cache entry — the second Plan is a warm hit
+// returning the same *PlanResult, not a re-run.
+func TestParallelismExcludedFromPlanCacheKey(t *testing.T) {
+	ctx := context.Background()
+	eng := New()
+	serial, err := eng.Plan(ctx, WithOptions(fastGridOpts()), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := eng.Plan(ctx, WithOptions(fastGridOpts()), WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatal("parallelism leaked into the plan-cache key: got distinct plans for identical options")
+	}
+}
+
+// TestSerialParallelPlanIdentical asserts the public-API guarantee on grid
+// and falcon: a serial engine and a parallel engine produce byte-identical
+// placements and metrics for the same options, across both built-in
+// legalizers.
+func TestSerialParallelPlanIdentical(t *testing.T) {
+	ctx := context.Background()
+	for _, topo := range []string{"grid", "falcon"} {
+		for _, legalizer := range []string{"shelf", "greedy"} {
+			opts := Options{Topology: topo, MaxIters: 25, Legalizer: legalizer}
+			serial, err := New(WithParallelism(1)).Plan(ctx, WithOptions(opts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := New(WithParallelism(4)).Plan(ctx, WithOptions(opts))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, in := range serial.Netlist.Instances {
+				pin := parallel.Netlist.Instances[i]
+				if in.Pos != pin.Pos {
+					t.Fatalf("%s/%s instance %d: parallel pos %v, serial pos %v (bitwise)",
+						topo, legalizer, i, pin.Pos, in.Pos)
+				}
+			}
+			if serial.Metrics.Ph != parallel.Metrics.Ph ||
+				serial.Metrics.Amer != parallel.Metrics.Amer ||
+				serial.Metrics.Utilization != parallel.Metrics.Utilization {
+				t.Fatalf("%s/%s: metrics drifted between serial and parallel", topo, legalizer)
+			}
+			if serial.PlaceOverflow != parallel.PlaceOverflow {
+				t.Fatalf("%s/%s: overflow %v != %v", topo, legalizer,
+					parallel.PlaceOverflow, serial.PlaceOverflow)
+			}
+		}
+	}
+}
+
+// TestParallelPlanConcurrentEngines drives the parallel gradient path from
+// two engines at once — each owning its own worker pool — so `go test
+// -race` covers pool handoff, per-worker FFT plans, and the owner-computes
+// kernels under real concurrency.
+func TestParallelPlanConcurrentEngines(t *testing.T) {
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	results := make([]*PlanResult, 2)
+	errs := make([]error, 2)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng := New(WithParallelism(3))
+			results[i], errs[i] = eng.Plan(ctx, WithOptions(fastGridOpts()))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("engine %d: %v", i, err)
+		}
+	}
+	for i, in := range results[0].Netlist.Instances {
+		if other := results[1].Netlist.Instances[i]; in.Pos != other.Pos {
+			t.Fatalf("concurrent engines diverged at instance %d: %v vs %v", i, in.Pos, other.Pos)
+		}
+	}
+}

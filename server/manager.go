@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -47,6 +48,12 @@ type Config struct {
 	JobTTL time.Duration
 	// EngineOptions are forwarded to every engine in the pool.
 	EngineOptions []qplacer.Option
+	// Parallelism bounds the worker pool inside each placement run
+	// (qplacer.WithParallelism). The default (0) sizes it to
+	// max(1, GOMAXPROCS / Workers): jobs already run concurrently, so
+	// Workers × Parallelism ≈ GOMAXPROCS keeps jobs from fighting for
+	// cores. Parallelism never changes results, only wall-clock.
+	Parallelism int
 	// DefaultPlacer and DefaultLegalizer fill requests that leave the
 	// backend unset, before normalization ("" keeps the package defaults,
 	// "nesterov"/"shelf"). Requests naming a backend explicitly win.
@@ -71,6 +78,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobTTL <= 0 {
 		c.JobTTL = 15 * time.Minute
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0) / c.Workers
+		if c.Parallelism < 1 {
+			c.Parallelism = 1
+		}
 	}
 	return c
 }
@@ -123,8 +136,10 @@ func NewManager(cfg Config) *Manager {
 		queue:       make(chan *Job, cfg.QueueDepth),
 		validateSem: make(chan struct{}, cfg.Workers),
 	}
+	engOpts := append(append([]qplacer.Option(nil), cfg.EngineOptions...),
+		qplacer.WithParallelism(cfg.Parallelism))
 	for i := 0; i < cfg.EnginePool; i++ {
-		m.engines = append(m.engines, qplacer.New(cfg.EngineOptions...))
+		m.engines = append(m.engines, qplacer.New(engOpts...))
 	}
 	for w := 0; w < cfg.Workers; w++ {
 		eng := m.engines[w%len(m.engines)]
