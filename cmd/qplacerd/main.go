@@ -1,18 +1,27 @@
 // Command qplacerd serves the placement pipeline over HTTP/JSON: submit
-// placement jobs, poll their progress, fetch results, cancel runs, and list
-// the registries. Identical requests share one job via the result cache, and
-// every job shares the engine pool's stage cache.
+// placement jobs, list and poll them, stream live progress over SSE, fetch
+// results, cancel runs, and list the registries. Identical requests share
+// one job via the result cache, and every job shares the engine pool's
+// stage cache.
 //
 // Usage:
 //
-//	qplacerd -addr :8080 -workers 2 -engines 1 -queue 64 -ttl 15m
+//	qplacerd -addr :8080 -workers 2 -engines 1 -max-queue 64 -ttl 15m \
+//	    [-data-dir /var/lib/qplacerd] [-quota N] [-lease 30s] [-retries 2]
 //
 //	curl -X POST localhost:8080/v1/plans -d '{"topology":"grid"}'
 //	curl localhost:8080/v1/jobs/job-1
+//	curl -N localhost:8080/v1/jobs/job-1/events
 //	curl localhost:8080/v1/jobs/job-1/result
 //
+// With -data-dir the job store is durable: jobs (and their results, within
+// -ttl) survive a restart, and a daemon killed mid-job re-leases and
+// re-runs that job on the next boot, bounded by -retries.
+//
 // SIGINT/SIGTERM drain gracefully: running jobs finish (up to -drain), then
-// the process exits.
+// the process exits. If the drain budget expires first, in-flight work is
+// cancelled and — with -data-dir — flushed back to the store as queued, so
+// nothing is lost.
 package main
 
 import (
@@ -30,19 +39,24 @@ import (
 
 	"qplacer"
 	"qplacer/server"
+	"qplacer/server/journal"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("qplacerd: ")
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 2, "jobs executed concurrently")
-		engines = flag.Int("engines", 1, "shared engines in the pool")
-		queue   = flag.Int("queue", 64, "pending-job queue depth")
-		ttl     = flag.Duration("ttl", 15*time.Minute, "finished-job retention (result cache TTL)")
-		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
-		placer  = flag.String("placer", "", "default placement backend for requests that leave it unset: "+
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 2, "jobs executed concurrently")
+		engines  = flag.Int("engines", 1, "shared engines in the pool")
+		maxQueue = flag.Int("max-queue", 64, "pending-job queue depth (submits beyond it get 429)")
+		ttl      = flag.Duration("ttl", 15*time.Minute, "finished-job retention (result cache TTL)")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight jobs")
+		dataDir  = flag.String("data-dir", "", "durable job store directory (empty = in-memory, lost on restart)")
+		quota    = flag.Int("quota", 0, "max live jobs per client, keyed by X-Client-ID or remote host (0 = unlimited)")
+		lease    = flag.Duration("lease", 30*time.Second, "job lease TTL; an attempt that stops heartbeating this long is re-queued")
+		retries  = flag.Int("retries", 2, "re-queues per job after lost leases/crashes before it fails")
+		placer   = flag.String("placer", "", "default placement backend for requests that leave it unset: "+
 			strings.Join(qplacer.Placers(), "|"))
 		legalize = flag.String("legalizer", "", "default legalization backend for requests that leave it unset: "+
 			strings.Join(qplacer.Legalizers(), "|"))
@@ -51,6 +65,8 @@ func main() {
 		parallelism = flag.Int("parallelism", 0,
 			"worker pool inside each placement run (0 = GOMAXPROCS/workers); results are identical at any value")
 	)
+	// -queue predates -max-queue; keep it working for existing scripts.
+	flag.IntVar(maxQueue, "queue", 64, "deprecated alias for -max-queue")
 	flag.Parse()
 
 	// Fail fast on a misconfigured backend default: without this check the
@@ -66,23 +82,40 @@ func main() {
 		}
 	}
 
+	var store server.Store
+	if *dataDir != "" {
+		js, err := journal.Open(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store = js
+	}
+
 	srv := server.New(server.Config{
 		Workers:          *workers,
 		EnginePool:       *engines,
-		QueueDepth:       *queue,
+		QueueDepth:       *maxQueue,
 		JobTTL:           *ttl,
+		Store:            store,
+		LeaseTTL:         *lease,
+		MaxRetries:       *retries,
+		QuotaPerClient:   *quota,
 		DefaultPlacer:    *placer,
 		DefaultLegalizer: *legalize,
 		StrictValidation: *strict,
 		Parallelism:      *parallelism,
 	})
+	if *dataDir != "" {
+		stats := srv.Manager().Stats()
+		log.Printf("durable store %s: recovered %d queued job(s)", *dataDir, stats.Recovered)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("listening on %s (workers=%d engines=%d queue=%d ttl=%v)",
-		ln.Addr(), *workers, *engines, *queue, *ttl)
+	log.Printf("listening on %s (workers=%d engines=%d max-queue=%d ttl=%v)",
+		ln.Addr(), *workers, *engines, *maxQueue, *ttl)
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strconv"
+	"time"
 
 	"qplacer"
 )
@@ -36,9 +39,9 @@ type errorResponse struct {
 }
 
 // statusFor maps pipeline and service errors onto HTTP status codes:
-// unknown names are 404, malformed requests 400, capacity and shutdown 503,
-// cancellation and not-ready conflicts 409, placements that failed
-// independent verification 422.
+// unknown names are 404, malformed requests 400, quota and queue
+// backpressure 429, shutdown 503, cancellation and not-ready conflicts 409,
+// placements that failed independent verification 422.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, qplacer.ErrUnknownTopology),
@@ -49,11 +52,14 @@ func statusFor(err error) int {
 		errors.Is(err, qplacer.ErrUnknownPlacer),
 		errors.Is(err, qplacer.ErrUnknownLegalizer),
 		errors.Is(err, qplacer.ErrInvalidOptions),
-		errors.Is(err, qplacer.ErrNoBenchmarks):
+		errors.Is(err, qplacer.ErrNoBenchmarks),
+		errors.Is(err, ErrInvalidArgument):
 		return http.StatusBadRequest
 	case errors.Is(err, qplacer.ErrInvalidPlacement):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQuotaExceeded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, qplacer.ErrCancelled), errors.Is(err, ErrJobNotDone):
 		return http.StatusConflict
@@ -89,11 +95,34 @@ func codeFor(err error) string {
 		return "not_done"
 	case errors.Is(err, ErrQueueFull):
 		return "queue_full"
+	case errors.Is(err, ErrQuotaExceeded):
+		return "quota_exceeded"
+	case errors.Is(err, ErrRetriesExhausted):
+		return "retries_exhausted"
+	case errors.Is(err, ErrInvalidArgument):
+		return "invalid_argument"
 	case errors.Is(err, ErrShuttingDown):
 		return "shutting_down"
 	default:
 		return "internal"
 	}
+}
+
+// sentinelForCode is the partial inverse of codeFor, used to re-attach
+// sentinels to errors recovered from the durable store so errors.Is (and
+// the status mapping) survive a restart.
+func sentinelForCode(code string) error {
+	switch code {
+	case "cancelled":
+		return qplacer.ErrCancelled
+	case "invalid_placement":
+		return qplacer.ErrInvalidPlacement
+	case "retries_exhausted":
+		return ErrRetriesExhausted
+	case "no_benchmarks":
+		return qplacer.ErrNoBenchmarks
+	}
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -105,14 +134,33 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	writeJSON(w, statusFor(err), errorResponse{Error: err.Error(), Code: codeFor(err)})
+	status := statusFor(err)
+	if status == http.StatusTooManyRequests {
+		// Quota and queue backpressure are transient: tell well-behaved
+		// clients when to come back.
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error(), Code: codeFor(err)})
 }
 
 func jobLinks(id string) map[string]string {
 	return map[string]string{
 		"status": "/v1/jobs/" + id,
 		"result": "/v1/jobs/" + id + "/result",
+		"events": "/v1/jobs/" + id + "/events",
 	}
+}
+
+// clientID identifies the submitter for per-client quotas: the X-Client-ID
+// header when present, else the remote host.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Client-ID"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
 }
 
 // decodeBody reads a size-capped request body into out, writing the error
@@ -157,6 +205,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Options:    req.Options,
 		Benchmarks: req.Benchmarks,
 		Mappings:   req.Mappings,
+		Client:     clientID(r),
 	})
 	if err != nil {
 		writeError(w, err)
@@ -211,12 +260,119 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
-	doc, err := s.mgr.Result(r.PathValue("id"))
+	// Serve the serialized form: it is identical for jobs computed this
+	// process and jobs recovered from the durable store.
+	raw, err := s.mgr.ResultJSON(r.PathValue("id"))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, doc)
+	writeJSON(w, http.StatusOK, raw)
+}
+
+// JobsResponse is the body of GET /v1/jobs: one page of jobs in submission
+// order plus the token selecting the next page ("" on the last page).
+type JobsResponse struct {
+	Jobs          []JobView `json:"jobs"`
+	NextPageToken string    `json:"next_page_token,omitempty"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: bad limit %q", ErrInvalidArgument, v))
+			return
+		}
+		limit = n
+	}
+	views, next, err := s.mgr.Jobs(State(q.Get("status")), limit, q.Get("page_token"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if views == nil {
+		views = []JobView{}
+	}
+	writeJSON(w, http.StatusOK, JobsResponse{Jobs: views, NextPageToken: next})
+}
+
+// sseKeepalive is how often an idle event stream emits a comment line so
+// intermediaries do not reap the connection.
+const sseKeepalive = 15 * time.Second
+
+// handleEvents streams a job's history as Server-Sent Events: every event
+// carries its per-job sequence number as the SSE id, so a client that
+// reconnects with Last-Event-ID resumes gap-free from where it stopped
+// (events older than the store's retention window replay from the oldest
+// retained event). The stream replays retained history first, then follows
+// the live job, and closes after delivering the terminal state event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var after uint64
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("last_event_id") // curl-friendly fallback
+	}
+	if lastID != "" {
+		if n, err := strconv.ParseUint(lastID, 10, 64); err == nil {
+			after = n
+		}
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errors.New("server: response writer does not support streaming"))
+		return
+	}
+	keep := time.NewTicker(sseKeepalive)
+	defer keep.Stop()
+	started := false
+	for {
+		evs, terminal, notify, err := s.mgr.Events(id, after)
+		if err != nil {
+			if !started {
+				writeError(w, err) // unknown (or evicted) job: a JSON 404
+			}
+			return
+		}
+		if !started {
+			h := w.Header()
+			h.Set("Content-Type", "text/event-stream")
+			h.Set("Cache-Control", "no-cache")
+			h.Set("X-Accel-Buffering", "no")
+			w.WriteHeader(http.StatusOK)
+			started = true
+		}
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+				return
+			}
+			after = ev.Seq
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+			continue // drain retained history before blocking
+		}
+		if terminal {
+			return // fully replayed a finished job
+		}
+		select {
+		case <-notify:
+		case <-keep.C:
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -1,16 +1,21 @@
 // Package server turns the qplacer Engine into a placement service: an
 // asynchronous job manager fans submitted placement requests out over a pool
-// of shared engines (so the stage cache warms across requests), an in-memory
-// store tracks job lifecycle with TTL eviction, and HTTP/JSON handlers expose
-// submit / poll / result / cancel plus the topology and benchmark registries.
+// of shared engines (so the stage cache warms across requests), a lease-based
+// work queue retries jobs whose worker died, a pluggable Store decides what
+// survives a restart (in-memory by default, an append-only journal for
+// durability), and HTTP/JSON handlers expose submit / poll / list / result /
+// cancel plus an SSE progress stream and the topology and benchmark
+// registries.
 package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -26,8 +31,16 @@ var (
 	// ErrJobNotDone reports a result fetch on a job still queued or running.
 	ErrJobNotDone = errors.New("server: job not done yet")
 	// ErrQueueFull reports a submit rejected because the pending queue is at
-	// capacity.
+	// capacity (backpressure; HTTP 429).
 	ErrQueueFull = errors.New("server: job queue full")
+	// ErrQuotaExceeded reports a submit rejected because the client already
+	// has its quota of live (queued or running) jobs (HTTP 429).
+	ErrQuotaExceeded = errors.New("server: per-client quota exceeded")
+	// ErrRetriesExhausted marks a job failed because its lease expired more
+	// times than the retry budget allows.
+	ErrRetriesExhausted = errors.New("server: retry budget exhausted")
+	// ErrInvalidArgument reports malformed list-endpoint parameters.
+	ErrInvalidArgument = errors.New("server: invalid argument")
 	// ErrShuttingDown reports a submit during graceful shutdown.
 	ErrShuttingDown = errors.New("server: shutting down")
 )
@@ -41,11 +54,28 @@ type Config struct {
 	// (default 1: every request shares one stage cache).
 	EnginePool int
 	// QueueDepth bounds the pending-job queue (default 64); submits beyond
-	// it fail with ErrQueueFull.
+	// it fail with ErrQueueFull (HTTP 429).
 	QueueDepth int
 	// JobTTL is how long finished jobs (and their cached results) stay
 	// retrievable (default 15m).
 	JobTTL time.Duration
+	// Store decides what survives a restart: nil selects NewMemoryStore()
+	// (nothing survives); qplacer/server/journal.Open gives an append-only
+	// durable backend. The manager owns the store once passed in and closes
+	// it during Shutdown.
+	Store Store
+	// LeaseTTL is how long a claimed job may go without a heartbeat before
+	// it is considered abandoned and re-queued (default 30s). Running jobs
+	// heartbeat automatically, so in-process leases only expire when a
+	// worker wedges; across a crash+restart every non-terminal job is
+	// re-queued immediately.
+	LeaseTTL time.Duration
+	// MaxRetries is how many times an abandoned job is re-queued before it
+	// fails with ErrRetriesExhausted (default 2: up to 3 attempts total).
+	MaxRetries int
+	// QuotaPerClient caps the live (queued+running) jobs per Request.Client
+	// (0 = unlimited). Submits beyond it fail with ErrQuotaExceeded (429).
+	QuotaPerClient int
 	// EngineOptions are forwarded to every engine in the pool.
 	EngineOptions []qplacer.Option
 	// Parallelism bounds the worker pool inside each placement run
@@ -64,6 +94,11 @@ type Config struct {
 	// of merely annotating the result document. Every job's result carries
 	// the independent verifier's report either way.
 	StrictValidation bool
+
+	// Test hooks (see export_test.go): disable the per-run heartbeat so
+	// lease expiry can be forced, and override the sweep cadence.
+	disableHeartbeat bool
+	sweepEvery       time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +113,26 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobTTL <= 0 {
 		c.JobTTL = 15 * time.Minute
+	}
+	if c.Store == nil {
+		c.Store = NewMemoryStore()
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 30 * time.Second
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	} else if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.sweepEvery <= 0 {
+		c.sweepEvery = c.LeaseTTL / 4
+		if c.sweepEvery < 10*time.Millisecond {
+			c.sweepEvery = 10 * time.Millisecond
+		}
+		if c.sweepEvery > 5*time.Second {
+			c.sweepEvery = 5 * time.Second
+		}
 	}
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0) / c.Workers
@@ -96,6 +151,10 @@ type Stats struct {
 	Done         uint64  `json:"jobs_done"`
 	Failed       uint64  `json:"jobs_failed"`
 	Cancelled    uint64  `json:"jobs_cancelled"`
+	Retried      uint64  `json:"jobs_retried"`
+	Recovered    uint64  `json:"jobs_recovered"`
+	QuotaDenied  uint64  `json:"quota_denied"`
+	StoreErrors  uint64  `json:"store_errors"`
 	CacheHits    uint64  `json:"cache_hits"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 }
@@ -104,10 +163,17 @@ type Stats struct {
 // for concurrent use.
 type Manager struct {
 	cfg     Config
-	st      *store
-	queue   chan *Job
+	st      *index
 	engines []*qplacer.Engine
 	wg      sync.WaitGroup
+
+	// pending is the FIFO of claimable jobs; cond (on st.mu) wakes workers
+	// when it grows or the manager closes.
+	pending []*Job
+	cond    *sync.Cond
+	// stopSweep terminates the lease sweeper.
+	stopSweep chan struct{}
+	sweepDone chan struct{}
 
 	// validateSem bounds synchronous Validate calls to the same concurrency
 	// as the job workers, so a burst of POST /v1/validate cannot run more
@@ -118,35 +184,129 @@ type Manager struct {
 	validateRR uint64
 
 	// counters are guarded by st.mu, like all job state.
-	submitted uint64
-	done      uint64
-	failed    uint64
-	cancelled uint64
-	cacheHits uint64
-	closed    bool
+	submitted   uint64
+	done        uint64
+	failed      uint64
+	cancelled   uint64
+	retried     uint64
+	recovered   uint64
+	quotaDenied uint64
+	storeErrors uint64
+	cacheHits   uint64
+	closed      bool
+	// requeueOnExit is set during a forced (deadline-expired) drain: jobs
+	// cancelled by the drain are flushed to the store as queued so a
+	// durable backend re-runs them on the next boot.
+	requeueOnExit bool
 }
 
-// NewManager builds the manager and starts its workers. Call Shutdown to
-// drain them.
+// NewManager builds the manager, recovers any jobs persisted by the
+// configured Store, and starts its workers. Call Shutdown to drain them.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{
 		cfg:         cfg,
-		st:          newStore(cfg.JobTTL),
-		queue:       make(chan *Job, cfg.QueueDepth),
+		st:          newIndex(cfg.JobTTL, cfg.Store),
+		stopSweep:   make(chan struct{}),
+		sweepDone:   make(chan struct{}),
 		validateSem: make(chan struct{}, cfg.Workers),
 	}
+	m.cond = sync.NewCond(&m.st.mu)
 	engOpts := append(append([]qplacer.Option(nil), cfg.EngineOptions...),
 		qplacer.WithParallelism(cfg.Parallelism))
 	for i := 0; i < cfg.EnginePool; i++ {
 		m.engines = append(m.engines, qplacer.New(engOpts...))
 	}
+	m.recover()
 	for w := 0; w < cfg.Workers; w++ {
 		eng := m.engines[w%len(m.engines)]
 		m.wg.Add(1)
 		go m.worker(eng)
 	}
+	go m.leaseSweeper()
 	return m
+}
+
+// recover rebuilds the index from the Store: terminal jobs become servable
+// snapshots (done jobs re-enter the result cache, so resubmits stay
+// idempotent across a restart), and queued or running jobs are re-queued —
+// a job that was mid-run when the process died is re-leased by the next
+// worker, bounded by the retry budget.
+func (m *Manager) recover() {
+	recs, err := m.cfg.Store.LoadJobs()
+	if err != nil {
+		m.storeErrors++
+		return
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	m.st.mu.Lock()
+	defer m.st.mu.Unlock()
+	for _, rec := range recs {
+		job := &Job{
+			ID:       rec.ID,
+			Request:  rec.Request,
+			state:    rec.State,
+			err:      errFromRecord(rec),
+			attempts: rec.Attempts,
+			created:  rec.Created,
+			started:  rec.Started,
+			finished: rec.Finished,
+			seq:      rec.Seq,
+			notify:   make(chan struct{}),
+		}
+		if rec.Seq > m.st.seq {
+			m.st.seq = rec.Seq
+		}
+		if evs, err := m.cfg.Store.EventsSince(rec.ID, 0); err == nil && len(evs) > 0 {
+			job.eventSeq = evs[len(evs)-1].Seq
+		}
+		m.st.jobs[job.ID] = job
+		switch {
+		case rec.State == StateDone:
+			job.resultRaw = rec.Result
+			m.st.byKey[job.Request.key()] = job
+		case rec.State.terminal():
+			// failed/cancelled: visible, but not a cache entry.
+		case rec.Attempts > m.cfg.MaxRetries:
+			// It already burned its budget before the crash: don't loop.
+			job.state = StateFailed
+			job.err = fmt.Errorf("%w: %d attempts", ErrRetriesExhausted, rec.Attempts)
+			job.finished = m.st.now()
+			m.failed++
+			m.persistJob(job)
+			m.publish(job, Event{Type: EventState, State: StateFailed, Error: job.err.Error()})
+		default:
+			job.state = StateQueued
+			job.started = time.Time{}
+			m.st.byKey[job.Request.key()] = job
+			m.pending = append(m.pending, job)
+			m.recovered++
+			m.persistJob(job)
+			m.publish(job, Event{Type: EventState, State: StateQueued})
+		}
+	}
+}
+
+// persistJob writes the job's current record through the Store. Caller
+// holds st.mu. Store failures are counted, not fatal: the in-memory index
+// stays authoritative for the life of the process.
+func (m *Manager) persistJob(job *Job) {
+	if err := m.st.persist.PutJob(m.st.record(job)); err != nil {
+		m.storeErrors++
+	}
+}
+
+// publish appends an event to the job's history and wakes SSE streams.
+// Caller holds st.mu.
+func (m *Manager) publish(job *Job, ev Event) {
+	job.eventSeq++
+	ev.Seq = job.eventSeq
+	ev.Time = m.st.now()
+	if err := m.st.persist.AppendEvent(job.ID, ev); err != nil {
+		m.storeErrors++
+	}
+	close(job.notify)
+	job.notify = make(chan struct{})
 }
 
 // normalize validates the raw request against the registries and fills in
@@ -235,8 +395,10 @@ func (m *Manager) Validate(ctx context.Context, opts qplacer.Options) (*qplacer.
 
 // Submit normalizes and enqueues a placement request. A request whose
 // normalized form matches a live job — queued, running, or done within the
-// TTL — is a cache hit and returns that job instead of re-running the
-// pipeline; cached reports true in that case.
+// TTL (including jobs recovered from a durable store) — is a cache hit and
+// returns that job instead of re-running the pipeline; cached reports true
+// in that case. Fresh work is subject to the per-client quota and the
+// queue-depth backpressure.
 func (m *Manager) Submit(req Request) (JobView, bool, error) {
 	norm, err := m.normalize(req)
 	if err != nil {
@@ -255,6 +417,22 @@ func (m *Manager) Submit(req Request) (JobView, bool, error) {
 	if m.closed {
 		return JobView{}, false, ErrShuttingDown
 	}
+	if q := m.cfg.QuotaPerClient; q > 0 && norm.Client != "" {
+		live := 0
+		for _, j := range m.st.jobs {
+			if j.Request.Client == norm.Client && !j.state.terminal() {
+				live++
+			}
+		}
+		if live >= q {
+			m.quotaDenied++
+			return JobView{}, false, fmt.Errorf("%w: client %q has %d live jobs (quota %d)",
+				ErrQuotaExceeded, norm.Client, live, q)
+		}
+	}
+	if len(m.pending) >= m.cfg.QueueDepth {
+		return JobView{}, false, fmt.Errorf("%w (depth %d)", ErrQueueFull, m.cfg.QueueDepth)
+	}
 
 	m.st.seq++
 	job := &Job{
@@ -263,15 +441,15 @@ func (m *Manager) Submit(req Request) (JobView, bool, error) {
 		state:   StateQueued,
 		created: m.st.now(),
 		seq:     m.st.seq,
-	}
-	select {
-	case m.queue <- job:
-	default:
-		return JobView{}, false, fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(m.queue))
+		notify:  make(chan struct{}),
 	}
 	m.st.jobs[job.ID] = job
 	m.st.byKey[norm.key()] = job
+	m.pending = append(m.pending, job)
 	m.submitted++
+	m.persistJob(job)
+	m.publish(job, Event{Type: EventState, State: StateQueued})
+	m.cond.Signal()
 	return m.st.view(job), false, nil
 }
 
@@ -287,8 +465,75 @@ func (m *Manager) Job(id string) (JobView, error) {
 	return m.st.view(job), nil
 }
 
+// Jobs lists jobs in submission order, optionally filtered by state.
+// pageToken is the opaque token returned by the previous page (""
+// for the first page); limit <= 0 selects 50, and is capped at 500. The
+// returned token is "" on the last page.
+func (m *Manager) Jobs(status State, limit int, pageToken string) ([]JobView, string, error) {
+	if status != "" && !validStateFilter(status) {
+		return nil, "", fmt.Errorf("%w: unknown status %q", ErrInvalidArgument, status)
+	}
+	var after uint64
+	if pageToken != "" {
+		n, err := strconv.ParseUint(pageToken, 10, 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("%w: bad page_token %q", ErrInvalidArgument, pageToken)
+		}
+		after = n
+	}
+	if limit <= 0 {
+		limit = 50
+	}
+	if limit > 500 {
+		limit = 500
+	}
+
+	m.st.mu.Lock()
+	defer m.st.mu.Unlock()
+	m.st.sweep()
+	matched := make([]*Job, 0, len(m.st.jobs))
+	for _, j := range m.st.jobs {
+		if j.seq > after && (status == "" || j.state == status) {
+			matched = append(matched, j)
+		}
+	}
+	sort.Slice(matched, func(i, j int) bool { return matched[i].seq < matched[j].seq })
+	next := ""
+	if len(matched) > limit {
+		matched = matched[:limit]
+		next = strconv.FormatUint(matched[limit-1].seq, 10)
+	}
+	views := make([]JobView, len(matched))
+	for i, j := range matched {
+		views[i] = m.st.view(j)
+	}
+	return views, next, nil
+}
+
+// Events returns the retained history of a job with Seq > after, whether
+// the job is terminal, and a channel closed when the next event is
+// published — everything an SSE stream needs for gap-free Last-Event-ID
+// resume.
+func (m *Manager) Events(id string, after uint64) ([]Event, bool, <-chan struct{}, error) {
+	m.st.mu.Lock()
+	defer m.st.mu.Unlock()
+	m.st.sweep()
+	job, ok := m.st.jobs[id]
+	if !ok {
+		return nil, false, nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	evs, err := m.st.persist.EventsSince(id, after)
+	if err != nil {
+		m.storeErrors++
+		return nil, false, nil, err
+	}
+	return evs, job.state.terminal(), job.notify, nil
+}
+
 // Result returns the finished job's result document. Unfinished jobs report
-// ErrJobNotDone; failed and cancelled jobs report their terminal error.
+// ErrJobNotDone; failed and cancelled jobs report their terminal error. A
+// job recovered from a durable store only has its serialized form — use
+// ResultJSON for those (the HTTP layer always does).
 func (m *Manager) Result(id string) (*qplacer.ResultDocument, error) {
 	m.st.mu.Lock()
 	defer m.st.mu.Unlock()
@@ -298,7 +543,29 @@ func (m *Manager) Result(id string) (*qplacer.ResultDocument, error) {
 	}
 	switch job.state {
 	case StateDone:
+		if job.result == nil {
+			return nil, fmt.Errorf("server: job %s was recovered from the durable store; its result is only available serialized (use ResultJSON)", id)
+		}
 		return job.result, nil
+	case StateFailed, StateCancelled:
+		return nil, job.err
+	default:
+		return nil, fmt.Errorf("%w: %s is %s", ErrJobNotDone, id, job.state)
+	}
+}
+
+// ResultJSON returns the finished job's result document in serialized form,
+// whether it was computed this process or recovered from the store.
+func (m *Manager) ResultJSON(id string) (json.RawMessage, error) {
+	m.st.mu.Lock()
+	defer m.st.mu.Unlock()
+	job, ok := m.st.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	switch job.state {
+	case StateDone:
+		return job.resultRaw, nil
 	case StateFailed, StateCancelled:
 		return nil, job.err
 	default:
@@ -323,6 +590,8 @@ func (m *Manager) Cancel(id string) (JobView, error) {
 		job.finished = m.st.now()
 		m.cancelled++
 		m.st.dropKey(job)
+		m.persistJob(job)
+		m.publish(job, Event{Type: EventState, State: StateCancelled, Error: job.err.Error()})
 	case StateRunning:
 		job.phase = "cancelling"
 		if job.cancel != nil {
@@ -338,13 +607,17 @@ func (m *Manager) Stats() Stats {
 	defer m.st.mu.Unlock()
 	queued, running := m.st.counts()
 	s := Stats{
-		Submitted: m.submitted,
-		Queued:    queued,
-		Running:   running,
-		Done:      m.done,
-		Failed:    m.failed,
-		Cancelled: m.cancelled,
-		CacheHits: m.cacheHits,
+		Submitted:   m.submitted,
+		Queued:      queued,
+		Running:     running,
+		Done:        m.done,
+		Failed:      m.failed,
+		Cancelled:   m.cancelled,
+		Retried:     m.retried,
+		Recovered:   m.recovered,
+		QuotaDenied: m.quotaDenied,
+		StoreErrors: m.storeErrors,
+		CacheHits:   m.cacheHits,
 	}
 	if total := m.submitted + m.cacheHits; total > 0 {
 		s.CacheHitRate = float64(m.cacheHits) / float64(total)
@@ -354,7 +627,9 @@ func (m *Manager) Stats() Stats {
 
 // Shutdown stops accepting jobs and drains the workers: queued and running
 // jobs run to completion until ctx expires, at which point everything still
-// in flight is cancelled and awaited.
+// in flight is cancelled, awaited, and — under a durable store — flushed
+// back as queued so the next boot re-runs it instead of losing it. The
+// Store is flushed and closed in both paths.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.st.mu.Lock()
 	if m.closed {
@@ -362,79 +637,207 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	m.closed = true
+	m.cond.Broadcast()
 	m.st.mu.Unlock()
-	close(m.queue)
 
 	drained := make(chan struct{})
 	go func() {
 		m.wg.Wait()
 		close(drained)
 	}()
+	var err error
 	select {
 	case <-drained:
-		return nil
 	case <-ctx.Done():
-	}
-
-	m.st.mu.Lock()
-	for _, job := range m.st.jobs {
-		switch job.state {
-		case StateRunning:
-			if job.cancel != nil {
-				job.cancel()
+		err = ctx.Err()
+		m.st.mu.Lock()
+		// Forced drain: from here on, cancellations are flushed to the
+		// store as queued work for the next boot, not as cancelled jobs.
+		m.requeueOnExit = true
+		for _, job := range m.st.jobs {
+			switch job.state {
+			case StateRunning:
+				if job.cancel != nil {
+					job.cancel()
+				}
+			case StateQueued: // still pending; workers will skip it
+				job.state = StateCancelled
+				job.err = qplacer.ErrCancelled
+				job.finished = m.st.now()
+				m.cancelled++
+				m.st.dropKey(job)
+				// Deliberately not persisted: the store keeps the queued
+				// record, so a durable backend re-runs it on restart.
 			}
-		case StateQueued: // still in the channel; workers will skip it
-			job.state = StateCancelled
-			job.err = qplacer.ErrCancelled
-			job.finished = m.st.now()
-			m.cancelled++
-			m.st.dropKey(job)
 		}
+		m.cond.Broadcast()
+		m.st.mu.Unlock()
+		<-drained
 	}
-	m.st.mu.Unlock()
-	<-drained
-	return ctx.Err()
+	close(m.stopSweep)
+	<-m.sweepDone
+	if ferr := m.st.persist.Flush(); ferr != nil {
+		m.st.mu.Lock()
+		m.storeErrors++
+		m.st.mu.Unlock()
+	}
+	_ = m.st.persist.Close()
+	return err
 }
 
-// worker drains the queue. After Shutdown closes the queue it finishes the
-// remaining jobs (or their cancellations) and exits.
+// worker claims and runs jobs until the manager closes and the backlog is
+// empty.
 func (m *Manager) worker(eng *qplacer.Engine) {
 	defer m.wg.Done()
-	for job := range m.queue {
-		m.run(eng, job)
+	for {
+		job, ctx, cancel, epoch := m.claim()
+		if job == nil {
+			return
+		}
+		m.run(eng, job, ctx, cancel, epoch)
 	}
 }
 
-// run executes one job: plan, then batch-evaluate, publishing phase
-// transitions as it goes.
-func (m *Manager) run(eng *qplacer.Engine, job *Job) {
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-
+// claim blocks until a queued job is available (or the manager is closed
+// and drained), leases it, and publishes the running transition. The
+// returned epoch fences every callback of this attempt: a lease expiry
+// bumps the job's epoch, turning the stale attempt's observer and finish
+// into no-ops.
+func (m *Manager) claim() (*Job, context.Context, context.CancelFunc, uint64) {
 	m.st.mu.Lock()
-	if job.state != StateQueued { // cancelled while waiting in the channel
+	defer m.st.mu.Unlock()
+	for {
+		for len(m.pending) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.pending) == 0 {
+			return nil, nil, nil, 0
+		}
+		job := m.pending[0]
+		m.pending = m.pending[1:]
+		if job.state != StateQueued { // cancelled while pending
+			continue
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		job.state = StateRunning
+		job.phase = "placing"
+		job.started = m.st.now()
+		job.cancel = cancel
+		job.attempts++
+		job.epoch++
+		job.lease = m.st.now().Add(m.cfg.LeaseTTL)
+		m.persistJob(job)
+		m.publish(job, Event{Type: EventState, State: StateRunning, Attempt: job.attempts})
+		return job, ctx, cancel, job.epoch
+	}
+}
+
+// leaseSweeper re-queues running jobs whose lease expired — the worker
+// died, wedged, or (across a restart) belonged to a previous process — and
+// fails jobs that exhausted their retry budget.
+func (m *Manager) leaseSweeper() {
+	defer close(m.sweepDone)
+	ticker := time.NewTicker(m.cfg.sweepEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stopSweep:
+			return
+		case <-ticker.C:
+		}
+		m.st.mu.Lock()
+		now := m.st.now()
+		for _, job := range m.st.jobs {
+			if job.state == StateRunning && now.After(job.lease) {
+				m.expireLease(job)
+			}
+		}
 		m.st.mu.Unlock()
+	}
+}
+
+// expireLease requeues (or, past the retry budget, fails) a job whose
+// lease lapsed. Caller holds st.mu.
+func (m *Manager) expireLease(job *Job) {
+	job.epoch++ // fence the stale attempt's callbacks
+	if job.cancel != nil {
+		job.cancel()
+		job.cancel = nil
+	}
+	job.phase = ""
+	job.progress = nil
+	m.retried++
+	if job.attempts > m.cfg.MaxRetries {
+		job.state = StateFailed
+		job.err = fmt.Errorf("%w: lease expired on attempt %d of %d",
+			ErrRetriesExhausted, job.attempts, m.cfg.MaxRetries+1)
+		job.finished = m.st.now()
+		m.failed++
+		m.st.dropKey(job)
+		m.persistJob(job)
+		m.publish(job, Event{Type: EventState, State: StateFailed, Error: job.err.Error()})
 		return
 	}
-	job.state = StateRunning
-	job.phase = "placing"
-	job.started = m.st.now()
-	job.cancel = cancel
-	m.st.mu.Unlock()
+	job.state = StateQueued
+	job.started = time.Time{}
+	m.pending = append(m.pending, job)
+	m.persistJob(job)
+	m.publish(job, Event{Type: EventState, State: StateQueued})
+	m.cond.Signal()
+}
 
-	// Stream backend progress into the job so GET /v1/jobs/{id} shows a
-	// long run's stage, iteration, and objective mid-flight. The callback
-	// fires from the engine's hot loop, so it only copies a small struct
-	// under the store lock.
+// heartbeat extends the job's lease while its attempt is alive, so leases
+// only lapse when the worker (or the whole process) actually dies.
+func (m *Manager) heartbeat(ctx context.Context, job *Job, epoch uint64) {
+	interval := m.cfg.LeaseTTL / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		m.st.mu.Lock()
+		if job.epoch != epoch || job.state != StateRunning {
+			m.st.mu.Unlock()
+			return
+		}
+		job.lease = m.st.now().Add(m.cfg.LeaseTTL)
+		m.st.mu.Unlock()
+	}
+}
+
+// run executes one leased attempt: plan, then batch-evaluate, publishing
+// phase transitions and progress events as it goes.
+func (m *Manager) run(eng *qplacer.Engine, job *Job, ctx context.Context, cancel context.CancelFunc, epoch uint64) {
+	defer cancel()
+	if !m.cfg.disableHeartbeat {
+		go m.heartbeat(ctx, job, epoch)
+	}
+
+	// Stream backend progress into the job (for GET /v1/jobs/{id}) and its
+	// event history (for the SSE stream), extending the lease as a side
+	// effect. The callback fires from the engine's hot loop, so it only
+	// copies a small struct under the index lock; durable backends buffer
+	// the event append.
 	obs := qplacer.ObserverFunc(func(p qplacer.Progress) {
 		m.st.mu.Lock()
-		if job.state == StateRunning {
-			job.progress = &ProgressView{
+		if job.epoch == epoch && job.state == StateRunning {
+			pv := ProgressView{
 				Stage:     string(p.Stage),
 				Backend:   p.Backend,
 				Iteration: p.Iteration,
 				Objective: p.Objective,
 			}
+			job.progress = &pv
+			if !m.cfg.disableHeartbeat {
+				job.lease = m.st.now().Add(m.cfg.LeaseTTL)
+			}
+			m.publish(job, Event{Type: EventProgress, Progress: &pv})
 		}
 		m.st.mu.Unlock()
 	})
@@ -444,33 +847,45 @@ func (m *Manager) run(eng *qplacer.Engine, job *Job) {
 	plan, err := eng.Plan(ctx, qplacer.WithOptions(job.Request.Options),
 		qplacer.WithObserver(obs), qplacer.WithValidation(m.validationMode()))
 	if err != nil {
-		m.finish(job, nil, err)
+		m.finish(job, epoch, nil, err)
 		return
 	}
 
 	m.st.mu.Lock()
-	if job.phase != "cancelling" {
+	if job.epoch == epoch && job.state == StateRunning && job.phase != "cancelling" {
 		job.phase = "evaluating"
 	}
 	m.st.mu.Unlock()
 
 	batch, err := eng.EvaluateAll(ctx, plan, job.Request.Benchmarks, job.Request.Mappings)
 	if err != nil {
-		m.finish(job, nil, err)
+		m.finish(job, epoch, nil, err)
 		return
 	}
-	m.finish(job, &qplacer.ResultDocument{
+	m.finish(job, epoch, &qplacer.ResultDocument{
 		Plan:       plan,
 		Batch:      batch,
 		Validation: plan.Validation,
 	}, nil)
 }
 
-// finish publishes the job's terminal state and maintains the result cache:
-// only successful jobs stay cached for dedup.
-func (m *Manager) finish(job *Job, doc *qplacer.ResultDocument, err error) {
+// finish publishes the attempt's terminal state — unless the attempt is
+// stale (its lease expired and the job moved on) — and maintains the result
+// cache: only successful jobs stay cached for dedup.
+func (m *Manager) finish(job *Job, epoch uint64, doc *qplacer.ResultDocument, err error) {
+	var raw json.RawMessage
+	if err == nil {
+		raw, err = json.Marshal(doc)
+		if err != nil {
+			err = fmt.Errorf("server: serializing result: %w", err)
+			doc = nil
+		}
+	}
 	m.st.mu.Lock()
 	defer m.st.mu.Unlock()
+	if job.epoch != epoch || job.state != StateRunning {
+		return // superseded by a lease expiry; the newer attempt owns the job
+	}
 	job.phase = ""
 	job.progress = nil
 	job.finished = m.st.now()
@@ -479,16 +894,41 @@ func (m *Manager) finish(job *Job, doc *qplacer.ResultDocument, err error) {
 	case err == nil:
 		job.state = StateDone
 		job.result = doc
+		job.resultRaw = raw
 		m.done++
+		m.persistJob(job)
 	case errors.Is(err, qplacer.ErrCancelled):
 		job.state = StateCancelled
 		job.err = err
 		m.cancelled++
 		m.st.dropKey(job)
+		if m.requeueOnExit {
+			// Forced drain killed this attempt; flush it back to the store
+			// as queued work (the drain is not charged against the retry
+			// budget) so a durable backend resumes it on the next boot.
+			rec := m.st.record(job)
+			rec.State = StateQueued
+			rec.Error, rec.ErrorCode = "", ""
+			rec.Started, rec.Finished = time.Time{}, time.Time{}
+			if rec.Attempts > 0 {
+				rec.Attempts--
+			}
+			if perr := m.st.persist.PutJob(rec); perr != nil {
+				m.storeErrors++
+			}
+		} else {
+			m.persistJob(job)
+		}
 	default:
 		job.state = StateFailed
 		job.err = err
 		m.failed++
 		m.st.dropKey(job)
+		m.persistJob(job)
 	}
+	ev := Event{Type: EventState, State: job.state}
+	if job.err != nil {
+		ev.Error = job.err.Error()
+	}
+	m.publish(job, ev)
 }

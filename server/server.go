@@ -11,8 +11,10 @@ import (
 //
 //	POST   /v1/plans            submit a placement job
 //	POST   /v1/validate         synchronously verify a placement (422 when invalid)
+//	GET    /v1/jobs             list jobs (paginated, ?status= filter)
 //	GET    /v1/jobs/{id}        poll status, live progress, queue position
 //	GET    /v1/jobs/{id}/result fetch the ResultDocument of a done job
+//	GET    /v1/jobs/{id}/events stream progress over SSE (Last-Event-ID resume)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/topologies       registered device topologies
 //	GET    /v1/benchmarks       registered benchmark circuits
@@ -41,8 +43,10 @@ func New(cfg Config) *Server {
 	s.started = s.clock()
 	s.mux.HandleFunc("POST /v1/plans", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/validate", s.handleValidate)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)

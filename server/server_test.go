@@ -12,8 +12,11 @@ import (
 	"testing"
 	"time"
 
+	"os"
+
 	"qplacer"
 	"qplacer/server"
+	"qplacer/server/journal"
 )
 
 // fastBody is a placement request that completes in tens of milliseconds:
@@ -38,12 +41,34 @@ func fastRequest(seed int64) server.Request {
 	}
 }
 
+// storeCfg applies the store backend selected by the QPLACER_TEST_STORE
+// environment variable ("journal" = durable store on a test temp dir;
+// anything else keeps the in-memory default), so CI can run the whole suite
+// once per backend.
+func storeCfg(t *testing.T, cfg server.Config) server.Config {
+	t.Helper()
+	if os.Getenv("QPLACER_TEST_STORE") == "journal" {
+		js, err := journal.Open(t.TempDir())
+		if err != nil {
+			t.Fatalf("opening journal store: %v", err)
+		}
+		cfg.Store = js // closed by Manager.Shutdown
+	}
+	return cfg
+}
+
+// newMgr builds a manager on the env-selected store backend.
+func newMgr(t *testing.T, cfg server.Config) *server.Manager {
+	t.Helper()
+	return server.NewManager(storeCfg(t, cfg))
+}
+
 // newTS starts a handler-level test server whose manager is drained (with a
 // cancellation deadline, so stray slow jobs cannot stall the suite) at
 // cleanup.
 func newTS(t *testing.T, cfg server.Config) *httptest.Server {
 	t.Helper()
-	srv := server.New(cfg)
+	srv := server.New(storeCfg(t, cfg))
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -257,7 +282,7 @@ func TestCancelMidRunAndResultConflicts(t *testing.T) {
 	}
 }
 
-func TestQueueFullRejectsWith503(t *testing.T) {
+func TestQueueFullRejectsWith429(t *testing.T) {
 	ts := newTS(t, server.Config{Workers: 1, QueueDepth: 1})
 
 	var running server.SubmitResponse
@@ -277,8 +302,8 @@ func TestQueueFullRejectsWith503(t *testing.T) {
 	var errResp struct {
 		Code string `json:"code"`
 	}
-	if code := call(t, http.MethodPost, ts.URL+"/v1/plans", slowBody(13), &errResp); code != http.StatusServiceUnavailable || errResp.Code != "queue_full" {
-		t.Fatalf("overflow submit: status %d code %q, want 503 queue_full", code, errResp.Code)
+	if code := call(t, http.MethodPost, ts.URL+"/v1/plans", slowBody(13), &errResp); code != http.StatusTooManyRequests || errResp.Code != "queue_full" {
+		t.Fatalf("overflow submit: status %d code %q, want 429 queue_full", code, errResp.Code)
 	}
 
 	// Unblock cleanup quickly.
@@ -398,7 +423,7 @@ func TestJobProgressVisibleMidRun(t *testing.T) {
 // placers: they must be distinct jobs (the result cache keys on the backend),
 // and the selected backends must surface in each job's normalized options.
 func TestBackendSelectionKeysResultCache(t *testing.T) {
-	mgr := server.NewManager(server.Config{Workers: 2})
+	mgr := newMgr(t, server.Config{Workers: 2})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -436,7 +461,7 @@ func TestBackendSelectionKeysResultCache(t *testing.T) {
 // defaults flow into requests that leave the backend unset, without
 // overriding explicit choices.
 func TestManagerDefaultBackends(t *testing.T) {
-	mgr := server.NewManager(server.Config{Workers: 1, DefaultLegalizer: "greedy"})
+	mgr := newMgr(t, server.Config{Workers: 1, DefaultLegalizer: "greedy"})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -465,7 +490,7 @@ func TestManagerDefaultBackends(t *testing.T) {
 // submits from many goroutines; under -race this is the data-race check for
 // the store, the result cache, and the engine pool.
 func TestManagerConcurrentSubmitStress(t *testing.T) {
-	mgr := server.NewManager(server.Config{Workers: 4, QueueDepth: 16})
+	mgr := newMgr(t, server.Config{Workers: 4, QueueDepth: 16})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -533,7 +558,7 @@ func TestManagerConcurrentSubmitStress(t *testing.T) {
 }
 
 func TestShutdownDrainsAndRefusesNewJobs(t *testing.T) {
-	mgr := server.NewManager(server.Config{Workers: 1})
+	mgr := newMgr(t, server.Config{Workers: 1})
 	view, _, err := mgr.Submit(fastRequest(21))
 	if err != nil {
 		t.Fatal(err)
@@ -557,7 +582,7 @@ func TestShutdownDrainsAndRefusesNewJobs(t *testing.T) {
 }
 
 func TestTTLEvictsFinishedJobs(t *testing.T) {
-	mgr := server.NewManager(server.Config{Workers: 1, JobTTL: 50 * time.Millisecond})
+	mgr := newMgr(t, server.Config{Workers: 1, JobTTL: 50 * time.Millisecond})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()

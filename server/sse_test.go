@@ -1,0 +1,272 @@
+package server_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"qplacer/server"
+)
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	ID    uint64
+	Name  string
+	Event server.Event
+}
+
+// openStream issues GET /v1/jobs/{id}/events, optionally resuming with a
+// Last-Event-ID header, and returns the live response plus a reader over it.
+func openStream(t *testing.T, base, jobID, lastEventID string) (*http.Response, *bufio.Reader) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events stream status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events stream Content-Type %q", ct)
+	}
+	return resp, bufio.NewReader(resp.Body)
+}
+
+// readFrame parses the next SSE frame, skipping keepalive comments. ok is
+// false at end of stream.
+func readFrame(t *testing.T, br *bufio.Reader) (f sseFrame, ok bool) {
+	t.Helper()
+	seen := false
+	for {
+		line, err := br.ReadString('\n')
+		if err == io.EOF {
+			if seen {
+				t.Fatal("stream ended mid-frame")
+			}
+			return sseFrame{}, false
+		}
+		if err != nil {
+			t.Fatalf("reading stream: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if seen {
+				return f, true
+			}
+		case strings.HasPrefix(line, ":"): // keepalive comment
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.ParseUint(line[len("id: "):], 10, 64)
+			if err != nil {
+				t.Fatalf("bad id line %q: %v", line, err)
+			}
+			f.ID = id
+			seen = true
+		case strings.HasPrefix(line, "event: "):
+			f.Name = line[len("event: "):]
+			seen = true
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(line[len("data: "):]), &f.Event); err != nil {
+				t.Fatalf("bad data line %q: %v", line, err)
+			}
+			seen = true
+		default:
+			t.Fatalf("unexpected stream line %q", line)
+		}
+	}
+}
+
+// drainStream reads frames until the stream closes.
+func drainStream(t *testing.T, br *bufio.Reader) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	for {
+		f, ok := readFrame(t, br)
+		if !ok {
+			return frames
+		}
+		frames = append(frames, f)
+	}
+}
+
+// checkContiguous asserts frame ids increase by exactly 1 from first on,
+// and that each frame's id matches its payload Seq.
+func checkContiguous(t *testing.T, frames []sseFrame, first uint64) {
+	t.Helper()
+	for i, f := range frames {
+		if want := first + uint64(i); f.ID != want {
+			t.Fatalf("frame %d has id %d, want %d (ids must be gap-free)", i, f.ID, want)
+		}
+		if f.Event.Seq != f.ID {
+			t.Fatalf("frame id %d carries payload seq %d", f.ID, f.Event.Seq)
+		}
+	}
+}
+
+// TestSSEReplayAfterDone streams a finished job's full history: the frame
+// ids are contiguous from 1, the lifecycle reads queued → running →
+// progress… → done with strictly increasing iterations, and the stream
+// closes after the terminal event instead of hanging.
+func TestSSEReplayAfterDone(t *testing.T) {
+	ts := newTS(t, server.Config{Workers: 1})
+	var sub server.SubmitResponse
+	if code := call(t, http.MethodPost, ts.URL+"/v1/plans", fastBody(60), &sub); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	pollJob(t, ts.URL, sub.Job.ID, server.StateDone)
+
+	_, br := openStream(t, ts.URL, sub.Job.ID, "")
+	frames := drainStream(t, br)
+	if len(frames) < 4 {
+		t.Fatalf("replay produced %d frames, want ≥ 4 (queued, running, progress…, done)", len(frames))
+	}
+	checkContiguous(t, frames, 1)
+	if f := frames[0]; f.Name != server.EventState || f.Event.State != server.StateQueued {
+		t.Fatalf("first frame %+v, want state=queued", f)
+	}
+	if f := frames[1]; f.Name != server.EventState || f.Event.State != server.StateRunning || f.Event.Attempt != 1 {
+		t.Fatalf("second frame %+v, want state=running attempt=1", f)
+	}
+	last := frames[len(frames)-1]
+	if last.Name != server.EventState || last.Event.State != server.StateDone {
+		t.Fatalf("final frame %+v, want state=done", last)
+	}
+	progress := 0
+	prevIter := -1
+	for _, f := range frames[2 : len(frames)-1] {
+		if f.Name != server.EventProgress || f.Event.Progress == nil {
+			t.Fatalf("mid-stream frame %+v, want progress", f)
+		}
+		if f.Event.Progress.Iteration <= prevIter {
+			t.Fatalf("iteration went %d → %d; progress must increase monotonically",
+				prevIter, f.Event.Progress.Iteration)
+		}
+		prevIter = f.Event.Progress.Iteration
+		progress++
+	}
+	if progress < 2 {
+		t.Fatalf("only %d progress frames", progress)
+	}
+}
+
+// TestSSEResumeFromLastEventID reconnects mid-history: a client that saw
+// events up to Seq k and resumes with Last-Event-ID: k receives exactly
+// Seq k+1 onward — no gaps, no duplicates — and a client already at the
+// terminal event gets a clean empty close.
+func TestSSEResumeFromLastEventID(t *testing.T) {
+	ts := newTS(t, server.Config{Workers: 1})
+	var sub server.SubmitResponse
+	if code := call(t, http.MethodPost, ts.URL+"/v1/plans", fastBody(61), &sub); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	pollJob(t, ts.URL, sub.Job.ID, server.StateDone)
+
+	resp, br := openStream(t, ts.URL, sub.Job.ID, "")
+	full := drainStream(t, br)
+	resp.Body.Close() // simulate the disconnect the resume recovers from
+	if len(full) < 4 {
+		t.Fatalf("full replay produced %d frames", len(full))
+	}
+
+	cut := full[1].ID
+	_, br = openStream(t, ts.URL, sub.Job.ID, strconv.FormatUint(cut, 10))
+	resumed := drainStream(t, br)
+	if len(resumed) != len(full)-2 {
+		t.Fatalf("resume after %d returned %d frames, want %d", cut, len(resumed), len(full)-2)
+	}
+	if resumed[0].ID != cut+1 {
+		t.Fatalf("resume after %d started at %d, want %d", cut, resumed[0].ID, cut+1)
+	}
+	checkContiguous(t, resumed, cut+1)
+
+	// The query-parameter fallback resumes identically (curl-friendly).
+	qURL := fmt.Sprintf("%s/v1/jobs/%s/events?last_event_id=%d", ts.URL, sub.Job.ID, cut)
+	qresp, err := http.Get(qURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qresp.Body.Close()
+	qframes := drainStream(t, bufio.NewReader(qresp.Body))
+	if len(qframes) != len(resumed) || qframes[0].ID != cut+1 {
+		t.Fatalf("query-param resume: %d frames starting %d, want %d starting %d",
+			len(qframes), qframes[0].ID, len(resumed), cut+1)
+	}
+
+	// Resuming from the terminal event: empty, immediate close.
+	_, br = openStream(t, ts.URL, sub.Job.ID, strconv.FormatUint(full[len(full)-1].ID, 10))
+	if tail := drainStream(t, br); len(tail) != 0 {
+		t.Fatalf("resume past terminal returned %d frames, want 0", len(tail))
+	}
+}
+
+// TestSSELiveStreamAndCancel follows a running job live: progress frames
+// arrive while the engine iterates (monotonically increasing iteration), a
+// cancel mid-stream surfaces as a terminal state frame, and the stream then
+// closes.
+func TestSSELiveStreamAndCancel(t *testing.T) {
+	ts := newTS(t, server.Config{Workers: 1})
+	var sub server.SubmitResponse
+	if code := call(t, http.MethodPost, ts.URL+"/v1/plans", slowBody(62), &sub); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	_, br := openStream(t, ts.URL, sub.Job.ID, "")
+
+	progress := 0
+	prevIter := -1
+	nextID := uint64(1)
+	for progress < 3 {
+		f, ok := readFrame(t, br)
+		if !ok {
+			t.Fatal("stream closed before 3 progress frames")
+		}
+		if f.ID != nextID {
+			t.Fatalf("live frame id %d, want %d", f.ID, nextID)
+		}
+		nextID++
+		if f.Name != server.EventProgress {
+			continue
+		}
+		if f.Event.Progress.Iteration <= prevIter {
+			t.Fatalf("live iteration went %d → %d", prevIter, f.Event.Progress.Iteration)
+		}
+		prevIter = f.Event.Progress.Iteration
+		progress++
+	}
+
+	if code := call(t, http.MethodDelete, ts.URL+"/v1/jobs/"+sub.Job.ID, "", nil); code != http.StatusOK {
+		t.Fatalf("cancel status %d", code)
+	}
+	sawTerminal := false
+	for {
+		f, ok := readFrame(t, br)
+		if !ok {
+			break
+		}
+		if f.ID != nextID {
+			t.Fatalf("post-cancel frame id %d, want %d", f.ID, nextID)
+		}
+		nextID++
+		if f.Name == server.EventState {
+			if f.Event.State != server.StateCancelled {
+				t.Fatalf("terminal frame state %q, want cancelled", f.Event.State)
+			}
+			sawTerminal = true
+		}
+	}
+	if !sawTerminal {
+		t.Fatal("stream closed without a terminal state frame")
+	}
+}
