@@ -6,6 +6,7 @@ import (
 	"qplacer/internal/anneal"
 	"qplacer/internal/geom"
 	"qplacer/internal/legal"
+	"qplacer/internal/obs"
 	"qplacer/internal/place"
 )
 
@@ -21,8 +22,9 @@ type nesterovPlacer struct{}
 
 func (nesterovPlacer) Name() string { return DefaultPlacerName }
 
-func (nesterovPlacer) Place(ctx context.Context, st *StageState, obs Observer) (*PlaceOutcome, error) {
+func (nesterovPlacer) Place(ctx context.Context, st *StageState, observer Observer) (*PlaceOutcome, error) {
 	cfg := place.DefaultConfig()
+	cfg.Span = obs.SpanFrom(ctx)
 	cfg.Seed = st.Options.Seed
 	cfg.Workers = st.Parallelism
 	if st.Options.MaxIters > 0 {
@@ -32,7 +34,7 @@ func (nesterovPlacer) Place(ctx context.Context, st *StageState, obs Observer) (
 		cfg.Mode = place.ModeClassic
 	}
 	cfg.Progress = func(iter int, overflow float64) {
-		obs.OnProgress(Progress{
+		observer.OnProgress(Progress{
 			Stage: StagePlace, Backend: DefaultPlacerName,
 			Iteration: iter, Objective: overflow,
 		})
@@ -59,8 +61,9 @@ type annealPlacer struct{}
 
 func (annealPlacer) Name() string { return "anneal" }
 
-func (annealPlacer) Place(ctx context.Context, st *StageState, obs Observer) (*PlaceOutcome, error) {
+func (annealPlacer) Place(ctx context.Context, st *StageState, observer Observer) (*PlaceOutcome, error) {
 	cfg := anneal.DefaultConfig()
+	cfg.Span = obs.SpanFrom(ctx)
 	cfg.Seed = st.Options.Seed
 	if st.Options.MaxIters > 0 {
 		cfg.Sweeps = st.Options.MaxIters
@@ -69,7 +72,7 @@ func (annealPlacer) Place(ctx context.Context, st *StageState, obs Observer) (*P
 		cfg.FreqWeight = 0 // the crosstalk-oblivious baseline, like ModeClassic
 	}
 	cfg.Progress = func(sweep int, cost float64) {
-		obs.OnProgress(Progress{
+		observer.OnProgress(Progress{
 			Stage: StagePlace, Backend: "anneal",
 			Iteration: sweep, Objective: cost,
 		})
@@ -89,9 +92,9 @@ func (annealPlacer) Place(ctx context.Context, st *StageState, obs Observer) (*P
 // legalProgress adapts the legal package's step/total hook to Progress
 // events (completed steps as the iteration, the total as the objective so
 // observers can show a fraction).
-func legalProgress(obs Observer, backend string) func(step, total int) {
+func legalProgress(observer Observer, backend string) func(step, total int) {
 	return func(step, total int) {
-		obs.OnProgress(Progress{
+		observer.OnProgress(Progress{
 			Stage: StageLegalize, Backend: backend,
 			Iteration: step, Objective: float64(total),
 		})
@@ -105,13 +108,14 @@ type shelfLegalizer struct{}
 
 func (shelfLegalizer) Name() string { return DefaultLegalizerName }
 
-func (shelfLegalizer) Legalize(ctx context.Context, st *StageState, region geom.Rect, obs Observer) (*LegalizeOutcome, error) {
+func (shelfLegalizer) Legalize(ctx context.Context, st *StageState, region geom.Rect, observer Observer) (*LegalizeOutcome, error) {
 	cfg := legal.DefaultConfig()
+	cfg.Span = obs.SpanFrom(ctx)
 	// The Classic baseline gets the classical (frequency-oblivious)
 	// legalizer, exactly as it would from its own engine.
 	cfg.FrequencyAware = st.Options.Scheme == SchemeQplacer
 	cfg.Workers = st.Parallelism
-	cfg.Progress = legalProgress(obs, DefaultLegalizerName)
+	cfg.Progress = legalProgress(observer, DefaultLegalizerName)
 	res, err := legal.LegalizeCtx(ctx, st.Netlist, region, st.Options.DeltaC, cfg)
 	if err != nil {
 		return nil, err
@@ -128,11 +132,12 @@ type greedyLegalizer struct{}
 
 func (greedyLegalizer) Name() string { return "greedy" }
 
-func (greedyLegalizer) Legalize(ctx context.Context, st *StageState, region geom.Rect, obs Observer) (*LegalizeOutcome, error) {
+func (greedyLegalizer) Legalize(ctx context.Context, st *StageState, region geom.Rect, observer Observer) (*LegalizeOutcome, error) {
 	cfg := legal.DefaultConfig()
+	cfg.Span = obs.SpanFrom(ctx)
 	cfg.FrequencyAware = st.Options.Scheme == SchemeQplacer
 	cfg.Workers = st.Parallelism
-	cfg.Progress = legalProgress(obs, "greedy")
+	cfg.Progress = legalProgress(observer, "greedy")
 	res, err := legal.RowScanCtx(ctx, st.Netlist, region, st.Options.DeltaC, cfg)
 	if err != nil {
 		return nil, err

@@ -22,6 +22,7 @@ import (
 
 	"qplacer"
 	"qplacer/internal/emsim"
+	"qplacer/internal/obs"
 	"qplacer/internal/physics"
 	"qplacer/internal/render"
 )
@@ -33,6 +34,7 @@ var (
 	table   = flag.Int("table", 0, "regenerate one table (1,2)")
 	all     = flag.Bool("all", false, "regenerate everything")
 	devFlag = flag.String("topologies", "", "comma-free list override, e.g. 'grid falcon'")
+	version = flag.Bool("version", false, "print build/version info and exit")
 )
 
 // eng is shared by every figure: its stage and plan caches mean each
@@ -321,6 +323,10 @@ func table1() {
 func main() {
 	log.SetFlags(0)
 	flag.Parse()
+	if *version {
+		fmt.Println("experiments " + obs.Build().String())
+		return
+	}
 	var stop context.CancelFunc
 	ctx, stop = signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"qplacer"
+	"qplacer/internal/obs"
 	"qplacer/internal/place"
 )
 
@@ -49,7 +50,12 @@ type Document struct {
 	Host          Host      `json:"host"`
 	Iterations    int       `json:"iterations"` // global-placement iteration budget per run
 	Runs          int       `json:"runs"`       // measured runs per entry (best kept)
-	Entries       []Entry   `json:"entries"`
+
+	// DegradedHost flags a document whose parallel entries were measured on
+	// a single-CPU host: speedups there are meaningless and parity is the
+	// only column worth reading.
+	DegradedHost bool    `json:"degraded_host,omitempty"`
+	Entries      []Entry `json:"entries"`
 }
 
 // Host pins the machine the numbers came from; speedups are only comparable
@@ -83,6 +89,10 @@ type Entry struct {
 	// overflow, and P_h matched the serial entry bit-for-bit.
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 	ParityVsSerial  bool    `json:"parity_vs_serial"`
+
+	// Timings is the per-stage span breakdown from one extra traced run,
+	// kept out of the measured runs so tracing cannot perturb ns_per_iter.
+	Timings *qplacer.SpanTiming `json:"timings,omitempty"`
 }
 
 func main() {
@@ -100,8 +110,15 @@ func main() {
 		quick      = flag.Bool("quick", false, "CI smoke preset: grid only, workers 1,2, -iters 30, -runs 1")
 		check      = flag.String("check", "", "validate an existing document instead of benchmarking")
 		minSpeedup = flag.Float64("min-speedup", 0.5, "-check: minimum best parallel speedup per group (0.5 tolerates single-core hosts; CI uses 0.7)")
+		noTimings  = flag.Bool("no-timings", false, "skip the extra traced run that records the per-stage span breakdown")
+		version    = flag.Bool("version", false, "print build/version info and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("qplacer-bench " + obs.Build().String())
+		return
+	}
 
 	if *check != "" {
 		if err := checkDocument(*check, *minSpeedup); err != nil {
@@ -143,13 +160,22 @@ func main() {
 		Iterations: *iters,
 		Runs:       *runs,
 	}
+	if runtime.NumCPU() == 1 {
+		for _, w := range workerList {
+			if w > 1 {
+				doc.DegradedHost = true
+				log.Printf("WARNING: benching workers>1 on a single-CPU host: parallel speedups are meaningless here; the document is flagged degraded_host")
+				break
+			}
+		}
+	}
 
 	for _, topo := range splitList(*topologies) {
 		for _, placer := range splitList(*placers) {
 			for _, legalizer := range splitList(*legalizers) {
 				var serial *Entry
 				for _, w := range workerList {
-					e, err := measure(ctx, topo, placer, legalizer, w, *iters, *runs, *warmup)
+					e, err := measure(ctx, topo, placer, legalizer, w, *iters, *runs, *warmup, !*noTimings)
 					if err != nil {
 						log.Fatal(err)
 					}
@@ -186,8 +212,10 @@ func main() {
 
 // measure runs the pipeline warmup+runs times on fresh engines and keeps the
 // fastest measurement. Placements are bit-deterministic, so the quality
-// columns are identical across runs; only the clock varies.
-func measure(ctx context.Context, topo, placer, legalizer string, workers, iters, runs, warmup int) (Entry, error) {
+// columns are identical across runs; only the clock varies. With timings set,
+// one additional traced run captures the per-stage span breakdown after the
+// measured runs, so tracing overhead never touches the timing columns.
+func measure(ctx context.Context, topo, placer, legalizer string, workers, iters, runs, warmup int, timings bool) (Entry, error) {
 	e := Entry{
 		Topology: topo, Placer: placer, Legalizer: legalizer,
 		Workers: workers,
@@ -221,6 +249,14 @@ func measure(ctx context.Context, topo, placer, legalizer string, workers, iters
 		e.HPWLmm = place.HPWL(plan.Netlist)
 		e.Overflow = plan.PlaceOverflow
 		e.PhPercent = plan.Metrics.Ph
+	}
+	if timings {
+		plan, err := qplacer.New(qplacer.WithParallelism(workers), qplacer.WithTracing(true)).
+			Plan(ctx, qplacer.WithOptions(opts))
+		if err != nil {
+			return e, fmt.Errorf("%s/%s/%s workers=%d traced run: %w", topo, placer, legalizer, workers, err)
+		}
+		e.Timings = plan.Timings
 	}
 	return e, nil
 }

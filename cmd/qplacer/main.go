@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"qplacer"
+	"qplacer/internal/obs"
 )
 
 func main() {
@@ -46,8 +47,14 @@ func main() {
 		listBE   = flag.Bool("list-backends", false, "print registered placer/legalizer backends and exit")
 		verify   = flag.Bool("verify", false, "independently verify the placement; exit non-zero when invalid")
 		par      = flag.Int("parallelism", 0, "worker pool inside the placement run (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
+		version  = flag.Bool("version", false, "print build/version info and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println("qplacer " + obs.Build().String())
+		return
+	}
 
 	if *listBE {
 		fmt.Printf("placers:    %s\n", strings.Join(qplacer.Placers(), " "))

@@ -7,7 +7,12 @@
 // Usage:
 //
 //	qplacerd -addr :8080 -workers 2 -engines 1 -max-queue 64 -ttl 15m \
-//	    [-data-dir /var/lib/qplacerd] [-quota N] [-lease 30s] [-retries 2]
+//	    [-data-dir /var/lib/qplacerd] [-quota N] [-lease 30s] [-retries 2] \
+//	    [-log-level info] [-log-format text] [-debug-addr 127.0.0.1:6060]
+//
+// Structured logs (level/format set by -log-level and -log-format) go to
+// stderr; -debug-addr exposes net/http/pprof on a separate listener, and
+// -version prints build info and exits.
 //
 //	curl -X POST localhost:8080/v1/plans -d '{"topology":"grid"}'
 //	curl localhost:8080/v1/jobs/job-1
@@ -28,9 +33,11 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -38,6 +45,7 @@ import (
 	"time"
 
 	"qplacer"
+	"qplacer/internal/obs"
 	"qplacer/server"
 	"qplacer/server/journal"
 )
@@ -64,10 +72,24 @@ func main() {
 			"fail jobs whose placement carries error-severity violations (422 invalid_placement)")
 		parallelism = flag.Int("parallelism", 0,
 			"worker pool inside each placement run (0 = GOMAXPROCS/workers); results are identical at any value")
+		logLevel  = flag.String("log-level", "info", "structured-log level: debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "structured-log format: text|json")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+		version   = flag.Bool("version", false, "print build/version info and exit")
 	)
 	// -queue predates -max-queue; keep it working for existing scripts.
 	flag.IntVar(maxQueue, "queue", 64, "deprecated alias for -max-queue")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("qplacerd " + obs.Build().String())
+		return
+	}
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Fail fast on a misconfigured backend default: without this check the
 	// daemon would boot cleanly and then 400 every request that relies on it.
@@ -104,6 +126,7 @@ func main() {
 		DefaultLegalizer: *legalize,
 		StrictValidation: *strict,
 		Parallelism:      *parallelism,
+		Logger:           logger,
 	})
 	if *dataDir != "" {
 		stats := srv.Manager().Stats()
@@ -116,6 +139,27 @@ func main() {
 	}
 	log.Printf("listening on %s (workers=%d engines=%d max-queue=%d ttl=%v)",
 		ln.Addr(), *workers, *engines, *maxQueue, *ttl)
+
+	// The pprof surface is opt-in and lives on its own listener so profiling
+	// endpoints are never reachable through the service address.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug (pprof) listening on %s", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, dmux); err != nil {
+				logger.Warn("debug listener exited", "err", err)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"qplacer/internal/circuit"
@@ -15,6 +16,7 @@ import (
 	"qplacer/internal/geom"
 	"qplacer/internal/mapper"
 	"qplacer/internal/metrics"
+	"qplacer/internal/obs"
 	"qplacer/internal/place"
 	"qplacer/internal/render"
 	"qplacer/internal/topology"
@@ -36,12 +38,36 @@ const sampleSeed = 12345
 type Engine struct {
 	settings settings
 
+	// Cache traffic counters, readable without the engine lock via Stats.
+	planHits, planMisses   atomic.Uint64
+	stageHits, stageMisses atomic.Uint64
+
 	mu       sync.Mutex
 	devices  map[string]*topology.Device
 	stages   map[stageKey]*stageEntry
 	circuits map[string]*circuit.Circuit
 	mappings map[mappingKey][]*mapper.Mapping
 	plans    map[Options]*PlanResult
+}
+
+// EngineStats is a point-in-time snapshot of the engine's cache traffic.
+type EngineStats struct {
+	PlanCacheHits    uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses  uint64 `json:"plan_cache_misses"`
+	StageCacheHits   uint64 `json:"stage_cache_hits"`
+	StageCacheMisses uint64 `json:"stage_cache_misses"`
+}
+
+// Stats reports the engine's cache hit/miss counters. Safe for concurrent
+// use; services export it (qplacerd sums it across the engine pool into
+// Prometheus counters).
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		PlanCacheHits:    e.planHits.Load(),
+		PlanCacheMisses:  e.planMisses.Load(),
+		StageCacheHits:   e.stageHits.Load(),
+		StageCacheMisses: e.stageMisses.Load(),
+	}
 }
 
 // stageKey identifies the placement-independent pipeline prefix: the device,
@@ -104,6 +130,12 @@ type PlanResult struct {
 	// Validation is the independent verifier's report, set when the plan ran
 	// under WithValidation (or by the caller via Validate); nil otherwise.
 	Validation *ValidationReport
+
+	// Timings is the per-stage timing breakdown recorded while the plan was
+	// computed; nil when the computing run had tracing disabled. Warm cache
+	// hits share the cold run's breakdown (a hit does no stage work of its
+	// own to time).
+	Timings *SpanTiming
 }
 
 // WriteSVG renders the plan's layout as SVG.
@@ -126,7 +158,7 @@ func (e *Engine) Plan(ctx context.Context, opts ...Option) (*PlanResult, error) 
 	for _, o := range opts {
 		o(&s)
 	}
-	return e.planWith(ctx, s.opts, s.observer, s.validation, s.parallelism)
+	return e.planWith(ctx, s.opts, s.observer, s.validation, s.parallelism, s.tracing)
 }
 
 // PlanOptions is Plan taking the options as a struct — the migration path
@@ -134,15 +166,16 @@ func (e *Engine) Plan(ctx context.Context, opts ...Option) (*PlanResult, error) 
 // observer, if one was configured at New, and verifies under the engine-wide
 // validation mode.
 func (e *Engine) PlanOptions(ctx context.Context, opts Options) (*PlanResult, error) {
-	return e.planWith(ctx, opts, e.settings.observer, e.settings.validation, e.settings.parallelism)
+	return e.planWith(ctx, opts, e.settings.observer, e.settings.validation, e.settings.parallelism, e.settings.tracing)
 }
 
-func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer, vmode ValidationMode, par int) (*PlanResult, error) {
+func (e *Engine) planWith(ctx context.Context, opts Options, observer Observer, vmode ValidationMode, par int, traced bool) (*PlanResult, error) {
+	start := time.Now()
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if obs == nil {
-		obs = nopObserver{}
+	if observer == nil {
+		observer = nopObserver{}
 	}
 	norm, err := opts.normalized()
 	if err != nil {
@@ -152,15 +185,28 @@ func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer, vmode
 	e.mu.Lock()
 	if cached, ok := e.plans[norm]; ok {
 		e.mu.Unlock()
+		e.planHits.Add(1)
 		return e.validated(cached, norm, vmode)
 	}
 	e.mu.Unlock()
+	e.planMisses.Add(1)
 
-	st, err := e.stage(norm)
+	// The tracer is built only after the plan-cache lookup misses, so the
+	// warm path stays allocation-free; StartAt backdates the root span to
+	// cover normalization and the lookup itself.
+	var root *obs.Span
+	if traced {
+		root = obs.NewSpan("plan")
+	}
+	rootTimer := root.StartAt(start)
+
+	st, err := e.stage(norm, root)
 	if err != nil {
 		return nil, err
 	}
+	cloneTimer := root.Child("netlist.clone").Start()
 	nl := st.netlist.Clone()
+	cloneTimer.End()
 
 	out := &PlanResult{
 		Options:   norm,
@@ -174,10 +220,12 @@ func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer, vmode
 	case SchemeHuman:
 		// The manual baseline is a deterministic construction, not an
 		// optimization — it bypasses the placer/legalizer backends.
+		placeTimer := root.ChildCPU("place").Start()
 		start := time.Now()
 		hres := place.PlaceHuman(nl)
 		out.Region = hres.Region
 		out.PlaceRuntime = time.Since(start)
+		placeTimer.End()
 		out.PlaceIterations = 1
 		out.Integrated = true
 	case SchemeQplacer, SchemeClassic:
@@ -192,7 +240,14 @@ func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer, vmode
 		if err != nil {
 			return nil, err
 		}
-		pres, err := placer.Place(ctx, state, obs)
+		// Backends receive their stage span through the context (the public
+		// StageState cannot expose internal/obs types); built-in backends
+		// attach sub-spans under it, and external ones are still timed at
+		// stage granularity by the wrapping timer.
+		placeSpan := root.ChildCPU("place")
+		placeTimer := placeSpan.Start()
+		pres, err := placer.Place(obs.ContextWithSpan(ctx, placeSpan), state, observer)
+		placeTimer.End()
 		if err != nil {
 			return nil, wrapCancel(err)
 		}
@@ -206,7 +261,10 @@ func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer, vmode
 			if err != nil {
 				return nil, err
 			}
-			lres, err := legalizer.Legalize(ctx, state, pres.Region, obs)
+			legalSpan := root.ChildCPU("legalize")
+			legalTimer := legalSpan.Start()
+			lres, err := legalizer.Legalize(obs.ContextWithSpan(ctx, legalSpan), state, pres.Region, observer)
+			legalTimer.End()
 			if err != nil {
 				return nil, wrapCancel(err)
 			}
@@ -214,10 +272,14 @@ func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer, vmode
 		}
 	}
 
+	metricsTimer := root.ChildCPU("metrics").Start()
 	out.Metrics = metrics.Measure(nl, norm.DeltaC)
+	metricsTimer.End()
 
 	if vmode != ValidationOff {
+		validateTimer := root.ChildCPU("validate").Start()
 		rep, err := Validate(out)
+		validateTimer.End()
 		if err != nil {
 			return nil, err
 		}
@@ -229,6 +291,9 @@ func (e *Engine) planWith(ctx context.Context, opts Options, obs Observer, vmode
 			return nil, validationError(rep)
 		}
 	}
+
+	rootTimer.End()
+	out.Timings = spanTiming(root.Snapshot())
 
 	e.mu.Lock()
 	if prior, ok := e.plans[norm]; ok {
@@ -275,15 +340,22 @@ func (e *Engine) validated(cached *PlanResult, norm Options, vmode ValidationMod
 // building and memoizing it on first use. The build runs outside the engine
 // lock so cold-cache work on different keys proceeds in parallel; a lost
 // race discards the duplicate, which is identical by construction.
-func (e *Engine) stage(norm Options) (*stageEntry, error) {
+func (e *Engine) stage(norm Options, root *obs.Span) (*stageEntry, error) {
+	stageSpan := root.ChildCPU("stage")
+	stageTimer := stageSpan.Start()
+	defer stageTimer.End()
 	key := stageKey{Topology: norm.Topology, DeltaC: norm.DeltaC, LB: norm.LB}
 	e.mu.Lock()
 	st, ok := e.stages[key]
 	dev, haveDev := e.devices[norm.Topology]
 	e.mu.Unlock()
 	if ok {
+		e.stageHits.Add(1)
 		return st, nil
 	}
+	e.stageMisses.Add(1)
+	buildTimer := stageSpan.Child("build").Start()
+	defer buildTimer.End()
 	if !haveDev {
 		var err error
 		dev, err = topology.ByName(norm.Topology)

@@ -24,6 +24,7 @@ import (
 	"qplacer/internal/component"
 	"qplacer/internal/frequency"
 	"qplacer/internal/geom"
+	"qplacer/internal/obs"
 	"qplacer/internal/place"
 )
 
@@ -54,6 +55,10 @@ type Config struct {
 	// 1-based sweep count and the current total cost. It must be fast and
 	// non-blocking.
 	Progress func(sweep int, cost float64)
+
+	// Span, when non-nil, receives the run's timing breakdown: setup
+	// (incidence + initial cost) and the Metropolis sweep loop.
+	Span *obs.Span
 }
 
 // DefaultConfig returns the annealer's production settings.
@@ -117,10 +122,12 @@ func Place(ctx context.Context, nl *component.Netlist, cm *frequency.CollisionMa
 	a := &annealer{cfg: cfg, nl: nl, rng: rand.New(rand.NewSource(cfg.Seed))}
 	side := math.Sqrt(place.TotalChargeArea(nl) / cfg.TargetDensity)
 	a.region = geom.NewRect(0, 0, side, side)
+	setupTimer := cfg.Span.Child("setup").Start()
 	a.setup(cm)
 	a.initialPositions()
 	a.buildGrid()
 	a.totalCost = a.fullCost()
+	setupTimer.End()
 
 	// Temperature scale: the mean |Δcost| of a burst of random probe moves,
 	// so acceptance starts permissive regardless of netlist size, then cools
@@ -131,8 +138,10 @@ func Place(ctx context.Context, nl *component.Netlist, cm *frequency.CollisionMa
 
 	temp := t0
 	sweeps := 0
+	sweepTimer := cfg.Span.Child("sweeps").Start()
 	for s := 0; s < cfg.Sweeps; s++ {
 		if err := ctx.Err(); err != nil {
+			sweepTimer.End()
 			a.nl.SetPositions(a.xy)
 			return nil, err
 		}
@@ -148,6 +157,7 @@ func Place(ctx context.Context, nl *component.Netlist, cm *frequency.CollisionMa
 			cfg.Progress(sweeps, a.totalCost)
 		}
 	}
+	sweepTimer.End()
 	a.nl.SetPositions(a.xy)
 
 	elapsed := time.Since(start)

@@ -18,6 +18,7 @@ import (
 	"qplacer/internal/frequency"
 	"qplacer/internal/geom"
 	"qplacer/internal/mcmf"
+	"qplacer/internal/obs"
 	"qplacer/internal/parallel"
 )
 
@@ -56,6 +57,11 @@ type Config struct {
 	// each greedy decision depends on everything placed before it. 0 or 1
 	// runs serial.
 	Workers int
+
+	// Span, when non-nil, receives the per-pass timing breakdown:
+	// LegalizeCtx records setup (the partner map) plus one child per
+	// Algorithm-1 pass, RowScanCtx records setup and the shelf scan.
+	Span *obs.Span
 }
 
 // DefaultConfig returns production settings.
@@ -257,7 +263,9 @@ func LegalizeCtx(ctx context.Context, nl *component.Netlist, region geom.Rect, d
 		pool:   parallel.New(cfg.Workers),
 	}
 	defer lg.pool.Close()
+	setupTimer := cfg.Span.Child("setup").Start()
 	lg.setup()
+	setupTimer.End()
 	res := &Result{}
 	lg.stats = res
 
@@ -268,21 +276,28 @@ func LegalizeCtx(ctx context.Context, nl *component.Netlist, region geom.Rect, d
 		anchors[i] = nl.Instances[qi].Pos
 	}
 
-	passes := []func() error{
-		func() error { return lg.legalizeQubits(res) },
-		func() error { return lg.refineQubits(res, anchors) },
-		func() error { return lg.legalizeSegments(res) },
-		func() error { return lg.integrate(res) },
-		func() error { return lg.compact(res) },
+	passes := []struct {
+		name string
+		run  func() error
+	}{
+		{"qubits", func() error { return lg.legalizeQubits(res) }},
+		{"refine", func() error { return lg.refineQubits(res, anchors) }},
+		{"segments", func() error { return lg.legalizeSegments(res) }},
+		{"integrate", func() error { return lg.integrate(res) }},
+		{"compact", func() error { return lg.compact(res) }},
 	}
 	for i, pass := range passes {
-		if err := pass(); err != nil {
+		passTimer := cfg.Span.Child(pass.name).Start()
+		err := pass.run()
+		passTimer.End()
+		if err != nil {
 			return nil, err
 		}
 		if cfg.Progress != nil {
 			cfg.Progress(i+1, len(passes))
 		}
 	}
+	cfg.Span.SetWorkers(lg.pool.WorkerBusy())
 	return res, nil
 }
 

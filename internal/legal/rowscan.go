@@ -43,9 +43,12 @@ func RowScanCtx(ctx context.Context, nl *component.Netlist, region geom.Rect, de
 	if cfg.FrequencyAware {
 		// The partner map is the scan's one superlinear piece; the shelf
 		// packing itself is a sequential sweep by construction.
+		setupTimer := cfg.Span.Child("setup").Start()
 		pool := parallel.New(cfg.Workers)
 		partners = buildPartners(nl, deltaC, pool)
+		cfg.Span.SetWorkers(pool.WorkerBusy())
 		pool.Close()
+		setupTimer.End()
 	}
 	bounds := region.Inflate(region.W() * 0.02)
 
@@ -97,8 +100,10 @@ func RowScanCtx(ctx context.Context, nl *component.Netlist, region geom.Rect, de
 		shelfH = 0
 		cursorX = bounds.Lo.X
 	}
+	scanTimer := cfg.Span.Child("scan").Start()
 	for done, u := range units {
 		if err := ctx.Err(); err != nil {
+			scanTimer.End()
 			return nil, err
 		}
 		for _, id := range u.ids {
@@ -141,6 +146,7 @@ func RowScanCtx(ctx context.Context, nl *component.Netlist, region geom.Rect, de
 			cfg.Progress(done+1, len(units))
 		}
 	}
+	scanTimer.End()
 
 	for rIdx := range nl.Resonators {
 		if len(ResonatorClusters(nl, rIdx, cfg.ClusterGap)) > 1 {

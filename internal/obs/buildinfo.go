@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: Go toolchain, module version,
+// and — when built from a git checkout — the VCS revision and dirty flag.
+// Bench results and bug reports carry it so they are attributable to a
+// commit.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	Time      string `json:"build_time,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
+}
+
+// Build reads the binary's embedded build metadata. Fields missing from the
+// build (e.g. no VCS stamping under `go test`) stay zero.
+func Build() BuildInfo {
+	b := BuildInfo{}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = info.GoVersion
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		b.Version = v
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.time":
+			b.Time = s.Value
+		case "vcs.modified":
+			b.Dirty = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders a one-line version banner for -version flags.
+func (b BuildInfo) String() string {
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev == "" {
+		rev = "unknown"
+	}
+	if b.Dirty {
+		rev += "-dirty"
+	}
+	v := b.Version
+	if v == "" {
+		v = "devel"
+	}
+	return fmt.Sprintf("%s (rev %s, %s)", v, rev, b.GoVersion)
+}

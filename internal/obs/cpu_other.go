@@ -1,0 +1,9 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// cpuNow has no portable implementation off unix; spans then report
+// wall time only.
+func cpuNow() time.Duration { return 0 }

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parseExposition is a minimal Prometheus text-format scanner used across
+// the test suite: it validates the line grammar the scrapers depend on and
+// returns sample name → value. Comment lines must announce a family before
+// its samples appear.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	samples := map[string]float64{}
+	typed := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			typed[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line: %q", line)
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		var val float64
+		if valStr == "+Inf" {
+			val = 0 // not expected in sample values
+		} else if _, err := fmt.Sscanf(valStr, "%g", &val); err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")
+		if _, ok := typed[name]; !ok {
+			if _, ok := typed[base]; !ok {
+				t.Fatalf("sample %q appears before its TYPE line", line)
+			}
+		}
+		samples[series] = val
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Value = %d, want 5", c.Value())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := parseExposition(t, b.String())
+	if got["test_ops_total"] != 5 {
+		t.Fatalf("exposed = %v, want 5", got["test_ops_total"])
+	}
+}
+
+func TestGaugeAndFuncs(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_depth", "Depth.")
+	g.Set(7)
+	g.Add(-2)
+	r.GaugeFunc("test_polled", "Polled.", func() float64 { return 1.5 })
+	r.CounterFunc("test_polled_total", "Polled counter.", func() uint64 { return 42 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := parseExposition(t, b.String())
+	if got["test_depth"] != 5 || got["test_polled"] != 1.5 || got["test_polled_total"] != 42 {
+		t.Fatalf("exposed = %v", got)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_req_total", "Requests.", "route", "code")
+	cv.With("/v1/plans", "200").Add(3)
+	cv.With("/v1/plans", "200").Inc() // same child
+	cv.With("/metrics", "200").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := parseExposition(t, b.String())
+	if got[`test_req_total{route="/v1/plans",code="200"}`] != 4 {
+		t.Fatalf("labelled counter = %v", got)
+	}
+	if got[`test_req_total{route="/metrics",code="200"}`] != 1 {
+		t.Fatalf("labelled counter = %v", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	if diff := h.Sum() - 5.555; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Sum = %v, want 5.555", h.Sum())
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := parseExposition(t, b.String())
+	for series, want := range map[string]float64{
+		`test_latency_seconds_bucket{le="0.01"}`: 1,
+		`test_latency_seconds_bucket{le="0.1"}`:  2,
+		`test_latency_seconds_bucket{le="1"}`:    3,
+		`test_latency_seconds_bucket{le="+Inf"}`: 4,
+		`test_latency_seconds_count`:             4,
+	} {
+		if got[series] != want {
+			t.Fatalf("%s = %v, want %v\nfull:\n%s", series, got[series], want, b.String())
+		}
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("test_plan_seconds", "Plan latency.", []float64{1}, "topology")
+	hv.With("grid").Observe(0.5)
+	hv.With("grid").Observe(2)
+	hv.With("falcon").Observe(0.1)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := parseExposition(t, b.String())
+	if got[`test_plan_seconds_bucket{topology="grid",le="1"}`] != 1 {
+		t.Fatalf("grid le=1 = %v\n%s", got, b.String())
+	}
+	if got[`test_plan_seconds_count{topology="grid"}`] != 2 ||
+		got[`test_plan_seconds_count{topology="falcon"}`] != 1 {
+		t.Fatalf("counts = %v", got)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_esc_total", "Escapes.", "v")
+	cv.With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `test_esc_total{v="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("output %q missing %q", b.String(), want)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "x")
+}
+
+func TestNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "z")
+	r.Gauge("aa_depth", "a")
+	got := r.Names()
+	if len(got) != 2 || got[0] != "aa_depth" || got[1] != "zz_total" {
+		t.Fatalf("Names = %v", got)
+	}
+}
+
+// TestRegistryConcurrentHammer drives every metric kind from many
+// goroutines while exposition runs concurrently; meaningful under -race.
+func TestRegistryConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hammer_ops_total", "ops")
+	g := r.Gauge("hammer_depth", "depth")
+	cv := r.CounterVec("hammer_req_total", "req", "route")
+	h := r.Histogram("hammer_seconds", "lat", nil)
+	hv := r.HistogramVec("hammer_plan_seconds", "lat", nil, "topo")
+	routes := []string{"/a", "/b", "/c"}
+	topos := []string{"grid", "falcon", "eagle"}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				cv.With(routes[j%len(routes)]).Inc()
+				h.Observe(float64(j) / 1000)
+				hv.With(topos[j%len(topos)]).Observe(float64(j) / 500)
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := parseExposition(t, b.String())
+	if got["hammer_ops_total"] != 8*500 {
+		t.Fatalf("ops = %v, want %d", got["hammer_ops_total"], 8*500)
+	}
+	if got["hammer_depth"] != 0 {
+		t.Fatalf("depth = %v, want 0", got["hammer_depth"])
+	}
+	if got["hammer_seconds_count"] != 8*500 {
+		t.Fatalf("histogram count = %v, want %d", got["hammer_seconds_count"], 8*500)
+	}
+}

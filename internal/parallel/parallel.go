@@ -9,7 +9,10 @@
 // scheduled.
 package parallel
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Pool is a bounded set of persistent workers. A nil Pool (or one built with
 // workers <= 1) runs everything serially on the calling goroutine, so hot
@@ -20,6 +23,11 @@ type Pool struct {
 	workers int
 	tasks   []chan task
 	wg      sync.WaitGroup
+	// busy accumulates each worker's in-task wall time. Slot w is written
+	// only by worker w (slot 0 by the dispatching goroutine), and readers go
+	// through WorkerBusy after For returns, so the barrier's happens-before
+	// makes the slots race-free without atomics.
+	busy []time.Duration
 }
 
 type task struct {
@@ -35,7 +43,7 @@ func New(workers int) *Pool {
 	if workers <= 1 {
 		return nil
 	}
-	p := &Pool{workers: workers}
+	p := &Pool{workers: workers, busy: make([]time.Duration, workers)}
 	// workers-1 goroutines; the dispatching goroutine always runs range 0
 	// itself, so a pool never sits idle while its owner blocks.
 	p.tasks = make([]chan task, workers-1)
@@ -46,7 +54,9 @@ func New(workers int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for t := range ch {
+				start := time.Now()
 				t.fn(t.worker, t.lo, t.hi)
+				p.busy[t.worker] += time.Since(start)
 				t.barrier.Done()
 			}
 		}()
@@ -83,9 +93,23 @@ func (p *Pool) For(n int, fn func(worker, lo, hi int)) {
 		p.tasks[w-1] <- task{fn: fn, lo: lo, hi: hi, worker: w, barrier: &barrier}
 	}
 	if hi := n / p.workers; hi > 0 {
+		start := time.Now()
 		fn(0, 0, hi)
+		p.busy[0] += time.Since(start)
 	}
 	barrier.Wait()
+}
+
+// WorkerBusy returns a copy of each worker's cumulative in-task wall time
+// (index = worker id, 0 the dispatching goroutine). Call it from the
+// dispatching goroutine between For calls; a nil pool returns nil.
+func (p *Pool) WorkerBusy() []time.Duration {
+	if p == nil {
+		return nil
+	}
+	out := make([]time.Duration, len(p.busy))
+	copy(out, p.busy)
+	return out
 }
 
 // Close releases the pool's goroutines. Close on a nil pool is a no-op;

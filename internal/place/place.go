@@ -27,6 +27,7 @@ import (
 	"qplacer/internal/fft"
 	"qplacer/internal/frequency"
 	"qplacer/internal/geom"
+	"qplacer/internal/obs"
 	"qplacer/internal/optim"
 	"qplacer/internal/parallel"
 	"qplacer/internal/poisson"
@@ -104,6 +105,13 @@ type Config struct {
 	// on values the loop computes anyway, so unlike Trace it adds no work;
 	// it must be fast and non-blocking.
 	Progress func(iter int, overflow float64)
+
+	// Span, when non-nil, receives the run's timing breakdown: the gradient
+	// components (wirelength, density with its rasterize/poisson/field
+	// phases, frequency, chain, boundary), the owner-computes reductions,
+	// the per-coordinate combine, and per-worker busy attribution. These are
+	// wall-only aggregating sub-spans, cheap enough for the iteration loop.
+	Span *obs.Span
 }
 
 // TraceEvent is one iteration's diagnostics for Config.Trace.
@@ -208,6 +216,11 @@ type engine struct {
 	pairContrib      []float64
 	rasterLo         []int32 // per-instance clamped bin-row span, refreshed
 	rasterHi         []int32 // each densityGrad so workers skip cheaply
+
+	// Aggregating trace sub-spans of cfg.Span (all nil when untraced).
+	spWL, spDen, spRaster, spField *obs.Span
+	spFreq, spChain, spWall        *obs.Span
+	spCombine, spReduce            *obs.Span
 }
 
 // incidenceCSR is a pair family inverted into compressed-sparse-row form:
@@ -387,6 +400,7 @@ func PlaceCtx(ctx context.Context, nl *component.Netlist, cm *frequency.Collisio
 	final := append([]float64(nil), opt.X()...)
 	e.clampInto(final)
 	nl.SetPositions(final)
+	cfg.Span.SetWorkers(e.pool.WorkerBusy())
 
 	elapsed := time.Since(start)
 	return &Result{
@@ -408,6 +422,7 @@ func newEngine(nl *component.Netlist, cm *frequency.CollisionMap, cfg Config) *e
 	e := &engine{cfg: cfg, nl: nl, cm: cm}
 	e.setupRegion()
 	e.setupBins()
+	e.setupTrace()
 	e.initialPositions()
 
 	n := len(nl.Instances)
@@ -425,6 +440,23 @@ func newEngine(nl *component.Netlist, cm *frequency.CollisionMap, cfg Config) *e
 
 // close releases the engine's worker pool (a no-op for serial runs).
 func (e *engine) close() { e.pool.Close() }
+
+// setupTrace caches the gradient sub-span pointers so the iteration loop
+// never takes the span's child-lookup lock. With cfg.Span nil every pointer
+// stays nil and each instrumented site costs one pointer test.
+func (e *engine) setupTrace() {
+	sp := e.cfg.Span
+	e.spWL = sp.Child("wirelength")
+	e.spDen = sp.Child("density")
+	e.spRaster = e.spDen.Child("rasterize")
+	e.solver.SetSpan(e.spDen.Child("poisson"))
+	e.spField = e.spDen.Child("field")
+	e.spFreq = sp.Child("frequency")
+	e.spChain = sp.Child("chain")
+	e.spWall = sp.Child("boundary")
+	e.spCombine = sp.Child("combine")
+	e.spReduce = sp.Child("reduce")
+}
 
 func (e *engine) setupRegion() {
 	area := TotalChargeArea(e.nl) / e.cfg.TargetDensity
@@ -581,6 +613,8 @@ func incidence(n int, edges [][2]int) [][]int32 {
 // same-resonator segment pairs (radius chainR0), keeping reserved wire-block
 // space disjoint during global placement.
 func (e *engine) chainGrad(xy []float64) float64 {
+	chainTimer := e.spChain.Start()
+	defer chainTimer.End()
 	if e.pool != nil {
 		return e.pairRepulsionOwner(xy, len(e.chainPairs), e.incC, e.gradC, e.chainR0)
 	}
@@ -605,6 +639,8 @@ func (e *engine) evalComponents(xy []float64) (wl, dEnergy, fq, fs, cPot float64
 // per-coordinate combine is independent across indices, so it fans out.
 func (e *engine) gradient(xy []float64, grad []float64) float64 {
 	wl, dEnergy, fq, fs, cPot := e.evalComponents(xy)
+	combineTimer := e.spCombine.Start()
+	defer combineTimer.End()
 	e.pool.For(len(grad), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			grad[i] = e.gradWL[i] + e.lambda*e.gradD[i] +
@@ -635,6 +671,8 @@ func (e *engine) netWeight(a, b int) float64 {
 // wirelengthGrad computes the smoothed wirelength Σ w·√(Δ²+γ²) per axis
 // over all 2-pin nets and its gradient.
 func (e *engine) wirelengthGrad(xy []float64) float64 {
+	wlTimer := e.spWL.Start()
+	defer wlTimer.End()
 	g2 := e.gamma * e.gamma
 	if e.pool != nil {
 		// Owner-computes fan-out: each worker folds its instances' incident
@@ -665,10 +703,12 @@ func (e *engine) wirelengthGrad(xy []float64) float64 {
 				e.gradWL[2*i+1] = gy
 			}
 		})
+		reduceTimer := e.spReduce.Start()
 		var total float64
 		for _, c := range e.netContrib {
 			total += c
 		}
+		reduceTimer.End()
 		return total
 	}
 	for i := range e.gradWL {
@@ -694,9 +734,12 @@ func (e *engine) wirelengthGrad(xy []float64) float64 {
 // densityGrad rasterizes charges, solves the Poisson problem and sets the
 // density gradient −q·E per instance. Returns the electrostatic energy.
 func (e *engine) densityGrad(xy []float64) float64 {
+	denTimer := e.spDen.Start()
+	defer denTimer.End()
 	s := e.solver
 	binArea := s.HX * s.HY
 	nx, ny := s.NX, s.NY
+	rasterTimer := e.spRaster.Start()
 
 	// Rasterization is partitioned by bin row: each worker zeroes and fills
 	// the rows it owns, visiting instances in ascending index order (the
@@ -785,10 +828,12 @@ func (e *engine) densityGrad(xy []float64) float64 {
 	if totalCharge > 0 {
 		e.overflow = over / totalCharge
 	}
+	rasterTimer.End()
 
 	s.Solve()
 	// Field sampling writes each instance's own two coordinates from the
 	// read-only solved fields — embarrassingly parallel.
+	fieldTimer := e.spField.Start()
 	e.pool.For(len(e.nl.Instances), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			q := e.chargeW[i] * e.chargeH[i]
@@ -797,6 +842,7 @@ func (e *engine) densityGrad(xy []float64) float64 {
 			e.gradD[2*i+1] = -q * s.At(s.Ey, cx, cy)
 		}
 	})
+	fieldTimer.End()
 	return s.Energy()
 }
 
@@ -896,16 +942,20 @@ func (e *engine) pairRepulsionOwner(xy []float64, numPairs int, inc incidenceCSR
 			grad[2*i+1] = gy
 		}
 	})
+	reduceTimer := e.spReduce.Start()
 	var total float64
 	for _, c := range contrib {
 		total += c
 	}
+	reduceTimer.End()
 	return total
 }
 
 // frequencyGrad evaluates the frequency repulsive potential of Eqs. 9-10,
 // split into qubit and segment components.
 func (e *engine) frequencyGrad(xy []float64) (fq, fs float64) {
+	freqTimer := e.spFreq.Start()
+	defer freqTimer.End()
 	if e.cm == nil || e.cfg.Mode == ModeClassic {
 		for i := range e.gradFQ {
 			e.gradFQ[i] = 0
@@ -931,6 +981,8 @@ func (e *engine) frequencyGrad(xy []float64) (fq, fs float64) {
 // region (smooth substitute for hard clamping during optimization). Each
 // instance owns its two coordinates, so the fan-out preserves bits.
 func (e *engine) wallGrad(xy []float64) {
+	wallTimer := e.spWall.Start()
+	defer wallTimer.End()
 	r := e.region
 	e.pool.For(len(e.nl.Instances), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -16,6 +16,7 @@ import (
 	"math"
 
 	"qplacer/internal/fft"
+	"qplacer/internal/obs"
 	"qplacer/internal/parallel"
 )
 
@@ -37,6 +38,12 @@ type Solver struct {
 	bufEy  []float64
 	wx     []float64 // w_u = πu/(NX·HX)
 	wy     []float64 // w_v = πv/(NY·HY)
+
+	// Trace spans (nil = untraced): the solve as a whole, its forward and
+	// synthesis transforms, and the eigenvalue-scaling pass.
+	spanSolve *obs.Span
+	spanFFT   *obs.Span
+	spanSpec  *obs.Span
 }
 
 // NewSolver returns a solver for an nx×ny grid of hx×hy bins.
@@ -79,17 +86,31 @@ func (s *Solver) Parallelize(p *parallel.Pool) {
 	s.grid.Parallelize(p)
 }
 
+// SetSpan attaches a trace span to the solver: subsequent Solves fold their
+// timing into it, broken into "fft" (forward DCT + synthesis transforms) and
+// "spectral" (eigenvalue scaling). nil detaches.
+func (s *Solver) SetSpan(sp *obs.Span) {
+	s.spanSolve = sp
+	s.spanFFT = sp.Child("fft")
+	s.spanSpec = sp.Child("spectral")
+}
+
 // Solve computes Psi, Ex and Ey from the current Density.
 func (s *Solver) Solve() {
+	solveTimer := s.spanSolve.Start()
+	defer solveTimer.End()
 	nx, ny := s.NX, s.NY
 	copy(s.coeff, s.Density)
+	fwdTimer := s.spanFFT.Start()
 	s.grid.DCT2D(s.coeff)
+	fwdTimer.End()
 
 	// Normalize the analysis coefficients so that SynthCosCos (with its
 	// halved u=0 / v=0 terms) reconstructs the input exactly, then divide by
 	// the Laplacian eigenvalues. Rows are independent (owner-computes), so
 	// the fan-out preserves bits.
 	norm := 4 / float64(nx*ny)
+	specTimer := s.spanSpec.Start()
 	s.pool.For(ny, func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			for u := 0; u < nx; u++ {
@@ -107,12 +128,16 @@ func (s *Solver) Solve() {
 		}
 	})
 
+	specTimer.End()
+
+	synthTimer := s.spanFFT.Start()
 	copy(s.Psi, s.bufPsi)
 	s.grid.SynthCosCos(s.Psi)
 	copy(s.Ex, s.bufEx)
 	s.grid.SynthSinCos(s.Ex)
 	copy(s.Ey, s.bufEy)
 	s.grid.SynthCosSin(s.Ey)
+	synthTimer.End()
 }
 
 // Energy returns the total electrostatic energy ½·Σ ρ·ψ·(bin area) of the

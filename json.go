@@ -140,6 +140,7 @@ type planResultJSON struct {
 	NumCells        int               `json:"num_cells"`
 	Integrated      bool              `json:"integrated"`
 	Validation      *ValidationReport `json:"validation,omitempty"`
+	Timings         *SpanTiming       `json:"timings,omitempty"`
 }
 
 // MarshalJSON renders the full plan — options, device, placed instances,
@@ -158,6 +159,7 @@ func (p *PlanResult) MarshalJSON() ([]byte, error) {
 		NumCells:        p.NumCells,
 		Integrated:      p.Integrated,
 		Validation:      p.Validation,
+		Timings:         p.Timings,
 	}
 	if p.Device != nil {
 		out.Device = deviceJSON{

@@ -140,12 +140,14 @@ type settings struct {
 	parallelism int
 	observer    Observer
 	validation  ValidationMode
+	tracing     bool
 }
 
 func defaultSettings() settings {
 	return settings{
 		workers:     runtime.GOMAXPROCS(0),
 		parallelism: runtime.GOMAXPROCS(0),
+		tracing:     true,
 	}
 }
 
@@ -217,6 +219,17 @@ func WithObserver(obs Observer) Option {
 // option it applies to every plan; as a per-call option to that call only.
 func WithValidation(mode ValidationMode) Option {
 	return func(s *settings) { s.validation = mode }
+}
+
+// WithTracing toggles the span tracer (default on). Traced plans carry a
+// per-stage timing breakdown in PlanResult.Timings; untraced plans run the
+// exact same code with a nil span, leave Timings nil, and pay nothing
+// beyond a pointer test per instrumented site. Like parallelism, tracing
+// never changes placement results and is not part of the cache key — but
+// note the cache stores whatever the first (cold) run produced, so a warm
+// hit may carry timings even when the hitting call disabled tracing.
+func WithTracing(enabled bool) Option {
+	return func(s *settings) { s.tracing = enabled }
 }
 
 // WithOptions replaces the whole Options struct at once — the migration

@@ -8,9 +8,11 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"qplacer"
+	"qplacer/internal/obs"
 )
 
 // PlanRequest is the body of POST /v1/plans: engine options (scheme as its
@@ -206,6 +208,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Benchmarks: req.Benchmarks,
 		Mappings:   req.Mappings,
 		Client:     clientID(r),
+		RequestID:  RequestIDFromContext(r.Context()),
 	})
 	if err != nil {
 		writeError(w, err)
@@ -326,7 +329,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errors.New("server: response writer does not support streaming"))
 		return
 	}
-	keep := time.NewTicker(sseKeepalive)
+	s.mgr.metrics.sseSubscribers.Add(1)
+	defer s.mgr.metrics.sseSubscribers.Add(-1)
+	keep := time.NewTicker(s.mgr.cfg.sseKeepalive)
 	defer keep.Stop()
 	started := false
 	for {
@@ -365,7 +370,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-notify:
 		case <-keep.C:
-			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+			// The comment advertises the job's latest event seq, so an idle
+			// client can tell a quiet stream from a stalled one (and knows
+			// what Last-Event-ID a reconnect would resume from).
+			seq, _ := s.mgr.LatestEventSeq(id)
+			if _, err := fmt.Fprintf(w, ": keepalive seq=%d\n\n", seq); err != nil {
 				return
 			}
 			fl.Flush()
@@ -412,9 +421,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":    "ok",
 		"uptime_ns": s.clock().Sub(s.started),
+		"build":     obs.Build(),
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics serves the service counters in two formats, negotiated on
+// Accept: the legacy JSON Stats by default (curl, existing clients), and the
+// Prometheus text exposition when the client asks for text/plain or an
+// openmetrics type (as every Prometheus scraper does).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if accept := r.Header.Get("Accept"); strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics") {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.mgr.WriteMetrics(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.mgr.Stats())
 }

@@ -27,6 +27,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"qplacer/server"
 )
@@ -72,9 +73,34 @@ type Store struct {
 	unflushed  int // buffered event ops not yet flushed
 	logRecords int // ops appended since the last compaction
 	closed     bool
+
+	// fsyncObs, when set, observes the duration of every fsync of the live
+	// log (the latency a durable PutJob pays). The manager wires it to the
+	// journal fsync histogram.
+	fsyncObs func(time.Duration)
 }
 
 var _ server.Store = (*Store)(nil)
+
+// SetFsyncObserver installs fn to be called with the duration of every
+// journal fsync (durable job puts/deletes and explicit flushes). nil
+// detaches. Safe to call concurrently with store use.
+func (st *Store) SetFsyncObserver(fn func(time.Duration)) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.fsyncObs = fn
+}
+
+// syncLog fsyncs the live log file, reporting the latency to the observer.
+// Caller holds mu.
+func (st *Store) syncLog() error {
+	start := time.Now()
+	err := st.f.Sync()
+	if st.fsyncObs != nil {
+		st.fsyncObs(time.Since(start))
+	}
+	return err
+}
 
 // Open loads (or initializes) the journal under dir: snapshot first, then a
 // replay of the matching generation's log, then an immediate compaction so
@@ -262,7 +288,7 @@ func (st *Store) append(o op, sync bool) error {
 		if err := st.w.Flush(); err != nil {
 			return err
 		}
-		if err := st.f.Sync(); err != nil {
+		if err := st.syncLog(); err != nil {
 			return err
 		}
 		st.unflushed = 0
@@ -351,7 +377,7 @@ func (st *Store) Flush() error {
 		return err
 	}
 	st.unflushed = 0
-	return st.f.Sync()
+	return st.syncLog()
 }
 
 // Close implements server.Store: one final compaction, then release the

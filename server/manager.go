@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"strconv"
@@ -94,11 +95,17 @@ type Config struct {
 	// of merely annotating the result document. Every job's result carries
 	// the independent verifier's report either way.
 	StrictValidation bool
+	// Logger receives the service's structured logs (job lifecycle, lease
+	// expiries, HTTP requests). nil discards everything, which keeps
+	// embedded and test managers quiet by default.
+	Logger *slog.Logger
 
 	// Test hooks (see export_test.go): disable the per-run heartbeat so
-	// lease expiry can be forced, and override the sweep cadence.
+	// lease expiry can be forced, override the sweep cadence, and shorten
+	// the SSE keepalive interval.
 	disableHeartbeat bool
 	sweepEvery       time.Duration
+	sseKeepalive     time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +146,12 @@ func (c Config) withDefaults() Config {
 		if c.Parallelism < 1 {
 			c.Parallelism = 1
 		}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.DiscardHandler)
+	}
+	if c.sseKeepalive <= 0 {
+		c.sseKeepalive = sseKeepalive
 	}
 	return c
 }
@@ -183,17 +196,12 @@ type Manager struct {
 	// by st.mu).
 	validateRR uint64
 
-	// counters are guarded by st.mu, like all job state.
-	submitted   uint64
-	done        uint64
-	failed      uint64
-	cancelled   uint64
-	retried     uint64
-	recovered   uint64
-	quotaDenied uint64
-	storeErrors uint64
-	cacheHits   uint64
-	closed      bool
+	// metrics is the real registry behind /metrics; its lifecycle counters
+	// are incremented under st.mu, alongside the transitions they record.
+	metrics *serviceMetrics
+	log     *slog.Logger
+
+	closed bool
 	// requeueOnExit is set during a forced (deadline-expired) drain: jobs
 	// cancelled by the drain are flushed to the store as queued so a
 	// durable backend re-runs them on the next boot.
@@ -212,10 +220,20 @@ func NewManager(cfg Config) *Manager {
 		validateSem: make(chan struct{}, cfg.Workers),
 	}
 	m.cond = sync.NewCond(&m.st.mu)
+	m.log = cfg.Logger
 	engOpts := append(append([]qplacer.Option(nil), cfg.EngineOptions...),
 		qplacer.WithParallelism(cfg.Parallelism))
 	for i := 0; i < cfg.EnginePool; i++ {
 		m.engines = append(m.engines, qplacer.New(engOpts...))
+	}
+	m.metrics = newServiceMetrics(m)
+	// A store that can report fsync latency (the journal) feeds the
+	// histogram; the interface assertion keeps Store implementations free
+	// of a mandatory metrics dependency.
+	if fo, ok := cfg.Store.(interface{ SetFsyncObserver(func(time.Duration)) }); ok {
+		fo.SetFsyncObserver(func(d time.Duration) {
+			m.metrics.journalFsync.Observe(d.Seconds())
+		})
 	}
 	m.recover()
 	for w := 0; w < cfg.Workers; w++ {
@@ -235,7 +253,7 @@ func NewManager(cfg Config) *Manager {
 func (m *Manager) recover() {
 	recs, err := m.cfg.Store.LoadJobs()
 	if err != nil {
-		m.storeErrors++
+		m.metrics.storeErrors.Inc()
 		return
 	}
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
@@ -272,7 +290,7 @@ func (m *Manager) recover() {
 			job.state = StateFailed
 			job.err = fmt.Errorf("%w: %d attempts", ErrRetriesExhausted, rec.Attempts)
 			job.finished = m.st.now()
-			m.failed++
+			m.metrics.failed.Inc()
 			m.persistJob(job)
 			m.publish(job, Event{Type: EventState, State: StateFailed, Error: job.err.Error()})
 		default:
@@ -280,10 +298,14 @@ func (m *Manager) recover() {
 			job.started = time.Time{}
 			m.st.byKey[job.Request.key()] = job
 			m.pending = append(m.pending, job)
-			m.recovered++
+			m.metrics.recovered.Inc()
 			m.persistJob(job)
 			m.publish(job, Event{Type: EventState, State: StateQueued})
 		}
+	}
+	if len(recs) > 0 {
+		m.log.Info("store recovery complete", "jobs", len(recs),
+			"requeued", m.metrics.recovered.Value())
 	}
 }
 
@@ -292,7 +314,7 @@ func (m *Manager) recover() {
 // stays authoritative for the life of the process.
 func (m *Manager) persistJob(job *Job) {
 	if err := m.st.persist.PutJob(m.st.record(job)); err != nil {
-		m.storeErrors++
+		m.metrics.storeErrors.Inc()
 	}
 }
 
@@ -303,7 +325,7 @@ func (m *Manager) publish(job *Job, ev Event) {
 	ev.Seq = job.eventSeq
 	ev.Time = m.st.now()
 	if err := m.st.persist.AppendEvent(job.ID, ev); err != nil {
-		m.storeErrors++
+		m.metrics.storeErrors.Inc()
 	}
 	close(job.notify)
 	job.notify = make(chan struct{})
@@ -410,7 +432,7 @@ func (m *Manager) Submit(req Request) (JobView, bool, error) {
 	m.st.sweep()
 
 	if prior, ok := m.st.byKey[norm.key()]; ok {
-		m.cacheHits++
+		m.metrics.cacheHits.Inc()
 		prior.hits++
 		return m.st.view(prior), true, nil
 	}
@@ -425,7 +447,7 @@ func (m *Manager) Submit(req Request) (JobView, bool, error) {
 			}
 		}
 		if live >= q {
-			m.quotaDenied++
+			m.metrics.quotaDenied.Inc()
 			return JobView{}, false, fmt.Errorf("%w: client %q has %d live jobs (quota %d)",
 				ErrQuotaExceeded, norm.Client, live, q)
 		}
@@ -446,10 +468,14 @@ func (m *Manager) Submit(req Request) (JobView, bool, error) {
 	m.st.jobs[job.ID] = job
 	m.st.byKey[norm.key()] = job
 	m.pending = append(m.pending, job)
-	m.submitted++
+	m.metrics.submitted.Inc()
 	m.persistJob(job)
 	m.publish(job, Event{Type: EventState, State: StateQueued})
 	m.cond.Signal()
+	m.log.Info("job submitted", "job", job.ID,
+		"topology", norm.Options.Topology, "placer", norm.Options.Placer,
+		"legalizer", norm.Options.Legalizer, "client", norm.Client,
+		"request_id", norm.RequestID)
 	return m.st.view(job), false, nil
 }
 
@@ -524,7 +550,7 @@ func (m *Manager) Events(id string, after uint64) ([]Event, bool, <-chan struct{
 	}
 	evs, err := m.st.persist.EventsSince(id, after)
 	if err != nil {
-		m.storeErrors++
+		m.metrics.storeErrors.Inc()
 		return nil, false, nil, err
 	}
 	return evs, job.state.terminal(), job.notify, nil
@@ -588,7 +614,7 @@ func (m *Manager) Cancel(id string) (JobView, error) {
 		job.state = StateCancelled
 		job.err = qplacer.ErrCancelled
 		job.finished = m.st.now()
-		m.cancelled++
+		m.metrics.cancelled.Inc()
 		m.st.dropKey(job)
 		m.persistJob(job)
 		m.publish(job, Event{Type: EventState, State: StateCancelled, Error: job.err.Error()})
@@ -601,28 +627,41 @@ func (m *Manager) Cancel(id string) (JobView, error) {
 	return m.st.view(job), nil
 }
 
-// Stats snapshots the service counters.
+// Stats snapshots the service counters: the legacy JSON view of the same
+// registry /metrics exposes in Prometheus format.
 func (m *Manager) Stats() Stats {
 	m.st.mu.Lock()
 	defer m.st.mu.Unlock()
 	queued, running := m.st.counts()
 	s := Stats{
-		Submitted:   m.submitted,
+		Submitted:   m.metrics.submitted.Value(),
 		Queued:      queued,
 		Running:     running,
-		Done:        m.done,
-		Failed:      m.failed,
-		Cancelled:   m.cancelled,
-		Retried:     m.retried,
-		Recovered:   m.recovered,
-		QuotaDenied: m.quotaDenied,
-		StoreErrors: m.storeErrors,
-		CacheHits:   m.cacheHits,
+		Done:        m.metrics.done.Value(),
+		Failed:      m.metrics.failed.Value(),
+		Cancelled:   m.metrics.cancelled.Value(),
+		Retried:     m.metrics.retried.Value(),
+		Recovered:   m.metrics.recovered.Value(),
+		QuotaDenied: m.metrics.quotaDenied.Value(),
+		StoreErrors: m.metrics.storeErrors.Value(),
+		CacheHits:   m.metrics.cacheHits.Value(),
 	}
-	if total := m.submitted + m.cacheHits; total > 0 {
-		s.CacheHitRate = float64(m.cacheHits) / float64(total)
+	if total := s.Submitted + s.CacheHits; total > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(total)
 	}
 	return s
+}
+
+// LatestEventSeq returns the Seq of the job's most recent event, so SSE
+// keepalives can advertise how far the stream has progressed.
+func (m *Manager) LatestEventSeq(id string) (uint64, bool) {
+	m.st.mu.Lock()
+	defer m.st.mu.Unlock()
+	job, ok := m.st.jobs[id]
+	if !ok {
+		return 0, false
+	}
+	return job.eventSeq, true
 }
 
 // Shutdown stops accepting jobs and drains the workers: queued and running
@@ -664,7 +703,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 				job.state = StateCancelled
 				job.err = qplacer.ErrCancelled
 				job.finished = m.st.now()
-				m.cancelled++
+				m.metrics.cancelled.Inc()
 				m.st.dropKey(job)
 				// Deliberately not persisted: the store keeps the queued
 				// record, so a durable backend re-runs it on restart.
@@ -677,9 +716,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	close(m.stopSweep)
 	<-m.sweepDone
 	if ferr := m.st.persist.Flush(); ferr != nil {
-		m.st.mu.Lock()
-		m.storeErrors++
-		m.st.mu.Unlock()
+		m.metrics.storeErrors.Inc()
 	}
 	_ = m.st.persist.Close()
 	return err
@@ -728,6 +765,8 @@ func (m *Manager) claim() (*Job, context.Context, context.CancelFunc, uint64) {
 		job.lease = m.st.now().Add(m.cfg.LeaseTTL)
 		m.persistJob(job)
 		m.publish(job, Event{Type: EventState, State: StateRunning, Attempt: job.attempts})
+		m.log.Info("job claimed", "job", job.ID, "attempt", job.attempts,
+			"request_id", job.Request.RequestID)
 		return job, ctx, cancel, job.epoch
 	}
 }
@@ -766,13 +805,16 @@ func (m *Manager) expireLease(job *Job) {
 	}
 	job.phase = ""
 	job.progress = nil
-	m.retried++
+	m.metrics.retried.Inc()
+	m.metrics.leaseExpiries.Inc()
+	m.log.Warn("lease expired", "job", job.ID, "attempt", job.attempts,
+		"max_retries", m.cfg.MaxRetries, "request_id", job.Request.RequestID)
 	if job.attempts > m.cfg.MaxRetries {
 		job.state = StateFailed
 		job.err = fmt.Errorf("%w: lease expired on attempt %d of %d",
 			ErrRetriesExhausted, job.attempts, m.cfg.MaxRetries+1)
 		job.finished = m.st.now()
-		m.failed++
+		m.metrics.failed.Inc()
 		m.st.dropKey(job)
 		m.persistJob(job)
 		m.publish(job, Event{Type: EventState, State: StateFailed, Error: job.err.Error()})
@@ -844,12 +886,16 @@ func (m *Manager) run(eng *qplacer.Engine, job *Job, ctx context.Context, cancel
 	// Jobs always run the independent verifier: annotate mode attaches the
 	// report to the result document, strict mode turns an invalid placement
 	// into a failed job (ErrInvalidPlacement → 422).
+	planStart := time.Now()
 	plan, err := eng.Plan(ctx, qplacer.WithOptions(job.Request.Options),
 		qplacer.WithObserver(obs), qplacer.WithValidation(m.validationMode()))
 	if err != nil {
 		m.finish(job, epoch, nil, err)
 		return
 	}
+	m.metrics.observePlan(job.Request.Options.Topology,
+		job.Request.Options.Placer, job.Request.Options.Legalizer,
+		time.Since(planStart))
 
 	m.st.mu.Lock()
 	if job.epoch == epoch && job.state == StateRunning && job.phase != "cancelling" {
@@ -895,12 +941,12 @@ func (m *Manager) finish(job *Job, epoch uint64, doc *qplacer.ResultDocument, er
 		job.state = StateDone
 		job.result = doc
 		job.resultRaw = raw
-		m.done++
+		m.metrics.done.Inc()
 		m.persistJob(job)
 	case errors.Is(err, qplacer.ErrCancelled):
 		job.state = StateCancelled
 		job.err = err
-		m.cancelled++
+		m.metrics.cancelled.Inc()
 		m.st.dropKey(job)
 		if m.requeueOnExit {
 			// Forced drain killed this attempt; flush it back to the store
@@ -914,7 +960,7 @@ func (m *Manager) finish(job *Job, epoch uint64, doc *qplacer.ResultDocument, er
 				rec.Attempts--
 			}
 			if perr := m.st.persist.PutJob(rec); perr != nil {
-				m.storeErrors++
+				m.metrics.storeErrors.Inc()
 			}
 		} else {
 			m.persistJob(job)
@@ -922,7 +968,7 @@ func (m *Manager) finish(job *Job, epoch uint64, doc *qplacer.ResultDocument, er
 	default:
 		job.state = StateFailed
 		job.err = err
-		m.failed++
+		m.metrics.failed.Inc()
 		m.st.dropKey(job)
 		m.persistJob(job)
 	}
@@ -930,5 +976,18 @@ func (m *Manager) finish(job *Job, epoch uint64, doc *qplacer.ResultDocument, er
 	if job.err != nil {
 		ev.Error = job.err.Error()
 	}
+	if job.state == StateDone && doc != nil && doc.Plan != nil {
+		// The terminal event carries the plan's span breakdown, so SSE
+		// consumers see where the time went without fetching the result.
+		ev.Timings = doc.Plan.Timings
+	}
 	m.publish(job, ev)
+	attrs := []any{"job", job.ID, "state", string(job.state),
+		"attempts", job.attempts, "duration", job.finished.Sub(job.created),
+		"request_id", job.Request.RequestID}
+	if job.err != nil {
+		m.log.Warn("job finished", append(attrs, "error", job.err.Error())...)
+	} else {
+		m.log.Info("job finished", attrs...)
+	}
 }

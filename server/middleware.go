@@ -1,0 +1,92 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// requestIDKey carries the request's correlation ID through its context.
+type requestIDKey struct{}
+
+// RequestIDFromContext returns the correlation ID the middleware attached to
+// the request ("" outside a server request). Handlers thread it into job
+// records; embedders can use it to correlate their own logs.
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// newRequestID returns a fresh 16-hex-char correlation ID.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// statusWriter records the response status while delegating everything else
+// — including the SSE handler's flushes — to the wrapped writer.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush implements http.Flusher by delegation, so SSE streaming keeps
+// working through the middleware.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap supports http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// withObservability wraps the router with the cross-cutting request
+// middleware: X-Request-ID propagation (honoring a client-supplied ID,
+// generating one otherwise, echoing it on the response), a structured access
+// log line per request, and the qplacerd_http_requests_total{route,code}
+// counter keyed by the matched route pattern.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, reqID))
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		route := "unmatched"
+		if _, pattern := s.mux.Handler(r); pattern != "" {
+			route = pattern
+		}
+		s.mgr.metrics.httpRequests.With(route, strconv.Itoa(sw.status)).Inc()
+		s.mgr.log.Info("http request", "method", r.Method, "route", route,
+			"status", sw.status, "duration", time.Since(start),
+			"request_id", reqID)
+	})
+}

@@ -20,11 +20,17 @@ import (
 //	GET    /v1/benchmarks       registered benchmark circuits
 //	GET    /v1/placers          registered placement backends
 //	GET    /v1/legalizers       registered legalization backends
-//	GET    /healthz             liveness
-//	GET    /metrics             JSON service counters
+//	GET    /healthz             liveness + build info
+//	GET    /metrics             service counters (JSON, or Prometheus text via Accept)
+//
+// Every request passes through the observability middleware: an
+// X-Request-ID is propagated (or generated) and echoed, an access-log line
+// is emitted, and qplacerd_http_requests_total is incremented by route and
+// status.
 type Server struct {
 	mgr     *Manager
 	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the observability middleware
 	httpSrv *http.Server
 	started time.Time
 	clock   func() time.Time
@@ -37,9 +43,10 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		clock: time.Now,
 	}
+	s.handler = s.withObservability(s.mux)
 	// Built here, not in Serve, so a Shutdown racing a just-started Serve
 	// goroutine still sees (and closes) the HTTP server.
-	s.httpSrv = &http.Server{Handler: s.mux}
+	s.httpSrv = &http.Server{Handler: s.handler}
 	s.started = s.clock()
 	s.mux.HandleFunc("POST /v1/plans", s.handleSubmit)
 	s.mux.HandleFunc("POST /v1/validate", s.handleValidate)
@@ -61,9 +68,9 @@ func New(cfg Config) *Server {
 // HTTP in front of it.
 func (s *Server) Manager() *Manager { return s.mgr }
 
-// Handler returns the HTTP surface, ready to mount on any listener or
-// httptest server.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP surface — routes wrapped in the observability
+// middleware — ready to mount on any listener or httptest server.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Serve runs the HTTP server on ln until Shutdown. It returns
 // http.ErrServerClosed after a clean shutdown, like net/http.

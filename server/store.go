@@ -59,6 +59,12 @@ type Request struct {
 	// deliberately excluded from the dedup key: identical requests from two
 	// clients share one job, charged to whoever submitted first.
 	Client string `json:"client,omitempty"`
+	// RequestID is the correlation ID of the HTTP request that created the
+	// job (the X-Request-ID header, generated when absent), threaded through
+	// job records and logs so a job can be traced back to its submit. Like
+	// Client, it is excluded from the dedup key: a cache-hit submit keeps the
+	// original job's ID.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // jobKey is the comparable dedup identity of a normalized Request.
@@ -100,6 +106,10 @@ type Event struct {
 	Progress *ProgressView `json:"progress,omitempty"`
 	// Error carries the terminal error message on failed/cancelled states.
 	Error string `json:"error,omitempty"`
+	// Timings is the plan's span breakdown, attached to the terminal done
+	// event so SSE consumers get the per-stage attribution without a second
+	// round-trip to the result endpoint.
+	Timings *qplacer.SpanTiming `json:"timings,omitempty"`
 }
 
 // JobRecord is the persistable snapshot of a job: everything a restarted
