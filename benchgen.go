@@ -1,0 +1,98 @@
+package qplacer
+
+import (
+	"fmt"
+	"io"
+
+	"qplacer/internal/bmgen"
+)
+
+// SuiteSpec is the declarative input to GenerateBenchmark: which connectivity
+// family to build, how large, which frequency-assignment scheme, and the seed
+// that makes the result reproducible. The zero value of every optional field
+// selects a documented default — see the field docs and docs/BENCHMARKS.md.
+type SuiteSpec = bmgen.Spec
+
+// Connectivity families accepted by SuiteSpec.Family.
+const (
+	SuiteFamilyGrid        = bmgen.FamilyGrid
+	SuiteFamilyXtree       = bmgen.FamilyXtree
+	SuiteFamilyOctagon     = bmgen.FamilyOctagon
+	SuiteFamilyHummingbird = bmgen.FamilyHummingbird
+	SuiteFamilyRandom      = bmgen.FamilyRandom
+)
+
+// Frequency-assignment schemes accepted by SuiteSpec.FreqScheme.
+const (
+	SuiteSchemeIsolation = bmgen.SchemeIsolation
+	SuiteSchemeDSATUR    = bmgen.SchemeDSATUR
+)
+
+// GeneratedSuite is a complete synthesized benchmark: connectivity graph,
+// frequency assignment, collision map, substrate area, and optional workload
+// circuits, all derived deterministically from a SuiteSpec. The embedded
+// suite exposes WriteJSON, Validate, and the raw artifact fields.
+type GeneratedSuite struct {
+	*bmgen.Suite
+}
+
+// GenerateBenchmark synthesizes the benchmark suite described by spec.
+// Generation is fully deterministic per normalized spec: the same spec (after
+// defaulting) produces a byte-identical WriteJSON stream in any process.
+// Invalid specs wrap ErrInvalidSuiteSpec.
+func GenerateBenchmark(spec SuiteSpec) (*GeneratedSuite, error) {
+	s, err := bmgen.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &GeneratedSuite{Suite: s}, nil
+}
+
+// LoadSuite reads a generated suite from its JSON encoding and validates its
+// well-formedness (connectivity, frequency bands, collision-map consistency,
+// area feasibility, spec hash). Malformed input wraps ErrInvalidSuite.
+func LoadSuite(r io.Reader) (*GeneratedSuite, error) {
+	s, err := bmgen.ReadSuite(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &GeneratedSuite{Suite: s}, nil
+}
+
+// Register makes the suite available to every engine: its topology under the
+// suite name, and each workload circuit under its recorded name, exactly as
+// RegisterTopology and RegisterBenchmark would. After registration,
+// Options{Topology: suite.Topology.Name} runs the full pipeline on the
+// generated device. Name clashes wrap ErrDuplicateTopology or
+// ErrDuplicateBenchmark.
+func (s *GeneratedSuite) Register() error {
+	t := s.Topology
+	err := RegisterTopology(TopologySpec{
+		Name:        t.Name,
+		Description: t.Description,
+		NumQubits:   t.NumQubits,
+		Edges:       t.Edges,
+		Coords:      t.Coords,
+	})
+	if err != nil {
+		return fmt.Errorf("qplacer: register suite %q: %w", t.Name, err)
+	}
+	for _, w := range s.Workloads {
+		gates := make([]GateSpec, len(w.Gates))
+		for i, g := range w.Gates {
+			gates[i] = GateSpec{Name: g.Name, Qubits: g.Qubits}
+		}
+		err := RegisterBenchmark(BenchmarkSpec{
+			Name:      w.Name,
+			NumQubits: w.NumQubits,
+			Gates:     gates,
+		})
+		if err != nil {
+			return fmt.Errorf("qplacer: register suite workload %q: %w", w.Name, err)
+		}
+	}
+	return nil
+}

@@ -15,6 +15,8 @@
 //	qplacer-bench -topologies grid,falcon,eagle -workers 1,2,4 -out BENCH_5.json
 //	qplacer-bench -quick -out bench.json     # CI smoke: grid only, small budget
 //	qplacer-bench -check BENCH_5.json        # validate an existing document
+//	qplacer-bench -suite gen.suite.json      # sweep a generated suite's topology
+//	                                         # (its spec hash lands in host metadata)
 //
 // The -check mode parses a document and enforces the invariants CI relies
 // on: every entry passed parity, and every group's best parallel speedup
@@ -66,6 +68,15 @@ type Host struct {
 	GoVersion  string `json:"go_version"`
 	GOOS       string `json:"goos"`
 	GOARCH     string `json:"goarch"`
+	// Suites pins any generated suites swept via -suite: the spec hash makes
+	// the exact benchmark reproducible with qplacer-gen.
+	Suites []SuiteRef `json:"suites,omitempty"`
+}
+
+// SuiteRef identifies one generated suite by name and spec fingerprint.
+type SuiteRef struct {
+	Name     string `json:"name"`
+	SpecHash string `json:"spec_hash"`
 }
 
 // Entry is one (topology, placer, legalizer, workers) measurement.
@@ -111,6 +122,7 @@ func main() {
 		check      = flag.String("check", "", "validate an existing document instead of benchmarking")
 		minSpeedup = flag.Float64("min-speedup", 0.5, "-check: minimum best parallel speedup per group (0.5 tolerates single-core hosts; CI uses 0.7)")
 		noTimings  = flag.Bool("no-timings", false, "skip the extra traced run that records the per-stage span breakdown")
+		suites     = flag.String("suite", "", "comma-separated generated-suite files (see qplacer-gen); their topologies join the sweep and their spec hashes are recorded")
 		version    = flag.Bool("version", false, "print build/version info and exit")
 	)
 	flag.Parse()
@@ -130,6 +142,18 @@ func main() {
 
 	if *quick {
 		*topologies, *workers, *iters, *runs, *warmup = "grid", "1,2", 30, 1, 1
+	}
+
+	// Generated suites register their topologies, join the sweep, and pin
+	// their spec hashes in the host-metadata block.
+	var suiteRefs []SuiteRef
+	for _, path := range splitList(*suites) {
+		s, err := loadSuite(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		suiteRefs = append(suiteRefs, SuiteRef{Name: s.Topology.Name, SpecHash: s.SpecHash})
+		*topologies += "," + s.Topology.Name
 	}
 	workerList, err := parseInts(*workers)
 	if err != nil {
@@ -156,6 +180,7 @@ func main() {
 			GoVersion:  runtime.Version(),
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
+			Suites:     suiteRefs,
 		},
 		Iterations: *iters,
 		Runs:       *runs,
@@ -309,6 +334,23 @@ func checkDocument(path string, minSpeedup float64) error {
 		}
 	}
 	return nil
+}
+
+// loadSuite reads, validates, and registers one generated benchmark suite.
+func loadSuite(path string) (*qplacer.GeneratedSuite, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := qplacer.LoadSuite(f)
+	if err != nil {
+		return nil, fmt.Errorf("suite %s: %w", path, err)
+	}
+	if err := s.Register(); err != nil {
+		return nil, fmt.Errorf("suite %s: %w", path, err)
+	}
+	return s, nil
 }
 
 func splitList(s string) []string {

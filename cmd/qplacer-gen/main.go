@@ -1,0 +1,130 @@
+// Command qplacer-gen synthesizes benchmark suites from declarative specs
+// (see docs/BENCHMARKS.md for the spec format). Generation is deterministic
+// per spec+seed, so emitted suites are reproducible byte for byte and can
+// join the golden corpus.
+//
+// Usage:
+//
+//	qplacer-gen -spec spec.json -out suite.json   # generate one suite
+//	qplacer-gen -spec spec.json                   # ... to stdout
+//	echo '{...}' | qplacer-gen -spec - -out s.json
+//	qplacer-gen -spec spec.json -emit-golden -dir testdata/golden
+//	qplacer-gen -check suite.json                 # validate an existing suite
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"qplacer"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qplacer-gen: ")
+	var (
+		specPath   = flag.String("spec", "", "spec JSON file ('-' reads stdin)")
+		outPath    = flag.String("out", "", "suite output path (default stdout)")
+		emitGolden = flag.Bool("emit-golden", false, "write the suite as <dir>/<name>.suite.json and print its path and spec hash")
+		goldenDir  = flag.String("dir", "testdata/golden", "golden-corpus directory for -emit-golden")
+		checkPath  = flag.String("check", "", "validate an existing suite file and exit")
+	)
+	flag.Parse()
+
+	if *checkPath != "" {
+		s := mustLoad(*checkPath)
+		fmt.Printf("%s: valid (%s, %d qubits, %d couplings, %d collision pairs, spec %s)\n",
+			*checkPath, s.Topology.Name, s.Topology.NumQubits,
+			len(s.Topology.Edges), len(s.Collisions.Pairs), short(s.SpecHash))
+		return
+	}
+	if *specPath == "" {
+		log.Fatal("need -spec (or -check); see -h")
+	}
+
+	spec := readSpec(*specPath)
+	suite, err := qplacer.GenerateBenchmark(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := suite.Validate(); err != nil {
+		// Generation guarantees this; a failure here is a generator bug.
+		log.Fatalf("generated suite failed validation: %v", err)
+	}
+
+	if *emitGolden {
+		path := filepath.Join(*goldenDir, suite.Spec.Name+".suite.json")
+		writeSuite(suite, path)
+		fmt.Printf("wrote %s (spec %s)\n", path, short(suite.SpecHash))
+		return
+	}
+	if *outPath == "" {
+		if err := suite.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	writeSuite(suite, *outPath)
+	fmt.Printf("wrote %s (%s, %d qubits, spec %s)\n",
+		*outPath, suite.Topology.Name, suite.Topology.NumQubits, short(suite.SpecHash))
+}
+
+func readSpec(path string) qplacer.SuiteSpec {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var spec qplacer.SuiteSpec
+	if err := dec.Decode(&spec); err != nil {
+		log.Fatalf("spec %s: %v", path, err)
+	}
+	return spec
+}
+
+func mustLoad(path string) *qplacer.GeneratedSuite {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	s, err := qplacer.LoadSuite(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return s
+}
+
+func writeSuite(s *qplacer.GeneratedSuite, path string) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.WriteJSON(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}

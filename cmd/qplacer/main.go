@@ -11,7 +11,10 @@
 //	qplacer -topology grid -bench all -json   # the service's ResultDocument
 //	qplacer -topology grid -placer anneal -legalizer greedy
 //	qplacer -topology grid -verify            # independently verify the layout
+//	qplacer -topology grid-64                 # parametric family member
+//	qplacer -suite suite.json -verify         # generated suite (see qplacer-gen)
 //	qplacer -list-backends                    # registered placers/legalizers
+//	qplacer -list-topologies                  # catalogue + parametric families
 package main
 
 import (
@@ -45,6 +48,8 @@ func main() {
 		placer   = flag.String("placer", "", "placement backend: "+strings.Join(qplacer.Placers(), "|")+" (default "+qplacer.DefaultPlacerName+")")
 		legalize = flag.String("legalizer", "", "legalization backend: "+strings.Join(qplacer.Legalizers(), "|")+" (default "+qplacer.DefaultLegalizerName+")")
 		listBE   = flag.Bool("list-backends", false, "print registered placer/legalizer backends and exit")
+		listTopo = flag.Bool("list-topologies", false, "print every resolvable topology and the parametric family schemas, then exit")
+		suite    = flag.String("suite", "", "load a generated benchmark suite (see qplacer-gen) and register its topology and workloads")
 		verify   = flag.Bool("verify", false, "independently verify the placement; exit non-zero when invalid")
 		par      = flag.Int("parallelism", 0, "worker pool inside the placement run (0 = GOMAXPROCS, 1 = serial); results are identical at any value")
 		version  = flag.Bool("version", false, "print build/version info and exit")
@@ -60,6 +65,22 @@ func main() {
 		fmt.Printf("placers:    %s\n", strings.Join(qplacer.Placers(), " "))
 		fmt.Printf("legalizers: %s\n", strings.Join(qplacer.Legalizers(), " "))
 		return
+	}
+
+	if *listTopo {
+		printTopologies()
+		return
+	}
+
+	if *suite != "" {
+		loaded := loadSuite(*suite)
+		// The suite's topology becomes the default unless -topology was
+		// given explicitly.
+		explicit := false
+		flag.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "topology" })
+		if !explicit {
+			*topo = loaded.Topology.Name
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -191,4 +212,36 @@ func main() {
 			ev.Benchmark, ev.MeanFidelity, ev.MinFidelity, ev.MaxFidelity, ev.NumMappings)
 	}
 	failIfInvalid()
+}
+
+// loadSuite reads, validates, and registers a generated benchmark suite.
+func loadSuite(path string) *qplacer.GeneratedSuite {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	s, err := qplacer.LoadSuite(f)
+	if err != nil {
+		log.Fatalf("suite %s: %v", path, err)
+	}
+	if err := s.Register(); err != nil {
+		log.Fatalf("suite %s: %v", path, err)
+	}
+	return s
+}
+
+// printTopologies renders the same catalogue GET /v1/topologies serves:
+// every resolvable name with its qubit/coupling counts, then the parametric
+// family schemas.
+func printTopologies() {
+	fmt.Printf("%-16s %7s %7s  %-12s %s\n", "NAME", "QUBITS", "EDGES", "CANONICAL", "DESCRIPTION")
+	for _, in := range qplacer.TopologyCatalog() {
+		fmt.Printf("%-16s %7d %7d  %-12s %s\n", in.Name, in.Qubits, in.Edges, in.Canonical, in.Description)
+	}
+	fmt.Println()
+	fmt.Println("parametric families (resolve anywhere a topology name is accepted):")
+	for _, f := range qplacer.TopologyFamilies() {
+		fmt.Printf("  %-32s %s (e.g. %s)\n", f.Schema, f.Description, strings.Join(f.Examples, ", "))
+	}
 }

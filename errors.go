@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"qplacer/internal/bmgen"
 	"qplacer/internal/circuit"
 	"qplacer/internal/topology"
 )
@@ -53,6 +54,12 @@ var (
 	// run — e.g. a non-finite segment size or detuning threshold — caught
 	// at normalization before it can poison cache keys or the pipeline.
 	ErrInvalidOptions = errors.New("qplacer: invalid options")
+	// ErrInvalidSuiteSpec reports a SuiteSpec that cannot describe any
+	// benchmark suite (see GenerateBenchmark).
+	ErrInvalidSuiteSpec = bmgen.ErrInvalidSpec
+	// ErrInvalidSuite reports a generated-suite document that failed
+	// well-formedness validation (see LoadSuite).
+	ErrInvalidSuite = bmgen.ErrInvalidSuite
 )
 
 // wrapCancel converts a context error into an ErrCancelled-classified error,

@@ -50,14 +50,17 @@ func mustRegister(name string, gen Generator) {
 	}
 }
 
-// ByName generates the named device. The error wraps ErrUnknown when no
-// generator is registered under the name.
+// ByName generates the named device. Registered names (built-in aliases and
+// runtime registrations) win; anything else is resolved through the
+// parametric-family parser (see Parse), so grid-64 or xtree-17 works
+// anywhere a topology name is accepted. The error wraps ErrUnknown when the
+// name is neither registered nor a valid family member.
 func ByName(name string) (*Device, error) {
 	regMu.RLock()
 	gen, ok := registry[name]
 	regMu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w %q", ErrUnknown, name)
+		return Parse(name)
 	}
 	d := gen()
 	if d == nil {
@@ -78,6 +81,10 @@ func Names() []string {
 	return out
 }
 
+// The six Table I names are exact aliases of parametric-family members (see
+// Aliases: grid = grid-25, aspen11 = octagon-1x5, aspenm = octagon-2x5,
+// xtree = xtree-53) kept registered under their legacy names so existing
+// corpora — including the device Name field — stay byte-identical.
 func init() {
 	mustRegister("grid", Grid25)
 	mustRegister("falcon", Falcon27)

@@ -1,9 +1,12 @@
-// Package topology defines the six quantum-device connectivity topologies of
-// Table I: Grid-25, the IBM heavy-hex Falcon (27 qubits) and Eagle (127
-// qubits), the Rigetti octagon lattices Aspen-11 (40) and Aspen-M (80), and
-// the Pauli-string-efficient Xtree (53). Each device carries its coupling
-// graph and canonical planar coordinates (unit pitch) used by the Human
-// baseline layout and as the placer's initial positions.
+// Package topology defines the quantum-device connectivity topologies the
+// engine places. The six fixed devices of Table I — Grid-25, the IBM
+// heavy-hex Falcon (27 qubits) and Eagle (127 qubits), the Rigetti octagon
+// lattices Aspen-11 (40) and Aspen-M (80), and the Pauli-string-efficient
+// Xtree (53) — are members of parametric families (see Parse): grids of any
+// rectangle, octagon lattices of any size, depth-parametric X-trees, and the
+// heavy-hex series including the 65-qubit Hummingbird. Each device carries
+// its coupling graph and canonical planar coordinates (unit pitch) used by
+// the Human baseline layout and as the placer's initial positions.
 package topology
 
 import (
@@ -57,31 +60,45 @@ func mustDevice(d *Device) *Device {
 	return d
 }
 
-// Grid25 returns the 5×5 grid, a quantum-error-correction-friendly
-// architecture (Google Sycamore style) with 25 qubits and 40 couplings.
-func Grid25() *Device {
-	const n = 5
-	g := graph.New(n * n)
-	coords := make([]geom.Point, n*n)
-	id := func(r, c int) int { return r*n + c }
-	for r := 0; r < n; r++ {
-		for c := 0; c < n; c++ {
+// gridLattice builds a rows×cols nearest-neighbour mesh at unit pitch.
+// Qubits are numbered row-major; each qubit couples to its right and lower
+// neighbours, so an R×C grid has R·C qubits and R(C−1)+C(R−1) couplings.
+func gridLattice(name, desc string, rows, cols int) *Device {
+	g := graph.New(rows * cols)
+	coords := make([]geom.Point, rows*cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
 			coords[id(r, c)] = geom.Point{X: float64(c), Y: float64(r)}
-			if c+1 < n {
+			if c+1 < cols {
 				g.AddEdge(id(r, c), id(r, c+1))
 			}
-			if r+1 < n {
+			if r+1 < rows {
 				g.AddEdge(id(r, c), id(r+1, c))
 			}
 		}
 	}
 	return mustDevice(&Device{
-		Name:        "grid",
-		Description: "Quantum error correction friendly 5x5 grid",
-		NumQubits:   n * n,
+		Name:        name,
+		Description: desc,
+		NumQubits:   rows * cols,
 		Graph:       g,
 		Coords:      coords,
 	})
+}
+
+// GridRC returns a rows×cols nearest-neighbour grid named name (the
+// parametric grid family: grid-4, grid-25, grid-64, ...; see Parse).
+func GridRC(name string, rows, cols int) *Device {
+	return gridLattice(name,
+		fmt.Sprintf("Quantum error correction friendly %dx%d grid, %d qubits", rows, cols, rows*cols),
+		rows, cols)
+}
+
+// Grid25 returns the 5×5 grid, a quantum-error-correction-friendly
+// architecture (Google Sycamore style) with 25 qubits and 40 couplings.
+func Grid25() *Device {
+	return gridLattice("grid", "Quantum error correction friendly 5x5 grid", 5, 5)
 }
 
 // falconEdges is the published 27-qubit IBM Falcon heavy-hex coupling map
@@ -136,23 +153,19 @@ func Falcon27() *Device {
 	})
 }
 
-// Eagle127 returns the IBM Eagle 127-qubit heavy-hex processor: seven long
-// rows (14, 15, 15, 15, 15, 15, 14 qubits) interleaved with six rows of four
-// vertical connectors, 144 couplings in total (ibm_washington structure).
-func Eagle127() *Device {
-	type rowSpec struct {
-		width  int
-		offset int // column of the leftmost qubit
-	}
-	longRows := []rowSpec{
-		{14, 0}, {15, 0}, {15, 0}, {15, 0}, {15, 0}, {15, 0}, {14, 1},
-	}
-	// Connector columns alternate between {0,4,8,12} and {2,6,10,14}.
-	connCols := [][]int{
-		{0, 4, 8, 12}, {2, 6, 10, 14}, {0, 4, 8, 12},
-		{2, 6, 10, 14}, {0, 4, 8, 12}, {2, 6, 10, 14},
-	}
+// hexRow describes one long row of a heavy-hex lattice.
+type hexRow struct {
+	width  int
+	offset int // column of the leftmost qubit
+}
 
+// heavyHex builds an IBM-style heavy-hex lattice: long rows of qubits
+// interleaved with short rows of vertical connectors. longRows gives each
+// long row's width and column offset; connCols[r] lists the columns bridged
+// between long rows r and r+1 (each column must carry a qubit in both rows).
+// Qubits are numbered long row by long row, each followed by its connector
+// row — the ibm_washington numbering convention.
+func heavyHex(name, desc string, longRows []hexRow, connCols [][]int) *Device {
 	var coords []geom.Point
 	// rowQubit[r][col] = qubit id at (row r, column col).
 	rowQubit := make([]map[int]int, len(longRows))
@@ -185,7 +198,7 @@ func Eagle127() *Device {
 				c := addQubit(float64(col), yc)
 				up, okUp := rowQubit[r][col]
 				if !okUp {
-					panic(fmt.Sprintf("eagle: connector col %d missing upper qubit in row %d", col, r))
+					panic(fmt.Sprintf("%s: connector col %d missing upper qubit in row %d", name, col, r))
 				}
 				edges = append(edges, [2]int{up, c})
 				// The matching lower edge is added once the next row exists.
@@ -196,19 +209,41 @@ func Eagle127() *Device {
 	for _, p := range pending {
 		down, ok := rowQubit[p.row][p.col]
 		if !ok {
-			panic(fmt.Sprintf("eagle: connector col %d missing lower qubit in row %d", p.col, p.row))
+			panic(fmt.Sprintf("%s: connector col %d missing lower qubit in row %d", name, p.col, p.row))
 		}
 		edges = append(edges, [2]int{p.conn, down})
 	}
 
 	g := graph.FromEdges(next, edges)
 	return mustDevice(&Device{
-		Name:        "eagle",
-		Description: "IBM Eagle heavy-hex processor, 127 qubits",
+		Name:        name,
+		Description: desc,
 		NumQubits:   next,
 		Graph:       g,
 		Coords:      coords,
 	})
+}
+
+// Eagle127 returns the IBM Eagle 127-qubit heavy-hex processor: seven long
+// rows (14, 15, 15, 15, 15, 15, 14 qubits) interleaved with six rows of four
+// vertical connectors, 144 couplings in total (ibm_washington structure).
+func Eagle127() *Device {
+	return heavyHex("eagle", "IBM Eagle heavy-hex processor, 127 qubits",
+		[]hexRow{{14, 0}, {15, 0}, {15, 0}, {15, 0}, {15, 0}, {15, 0}, {14, 1}},
+		// Connector columns alternate between {0,4,8,12} and {2,6,10,14}.
+		[][]int{
+			{0, 4, 8, 12}, {2, 6, 10, 14}, {0, 4, 8, 12},
+			{2, 6, 10, 14}, {0, 4, 8, 12}, {2, 6, 10, 14},
+		})
+}
+
+// Hummingbird65 returns the IBM Hummingbird 65-qubit heavy-hex processor
+// (ibmq_manhattan scale): five long rows (10, 11, 11, 11, 10 qubits)
+// interleaved with four rows of three vertical connectors, 72 couplings.
+func Hummingbird65() *Device {
+	return heavyHex("hummingbird-65", "IBM Hummingbird heavy-hex processor, 65 qubits",
+		[]hexRow{{10, 0}, {11, 0}, {11, 0}, {11, 0}, {10, 1}},
+		[][]int{{0, 4, 8}, {2, 6, 10}, {0, 4, 8}, {2, 6, 10}})
 }
 
 // octagonLattice builds a rows×cols lattice of 8-qubit octagon rings with
@@ -273,12 +308,38 @@ func AspenM() *Device {
 	return octagonLattice("aspenm", "Rigetti Aspen-M octagon processor, 80 qubits", 2, 5)
 }
 
-// Xtree53 returns the level-3 X-tree of Li et al. (Pauli-string-efficient
-// architecture): a root with four children, each with four children, each of
-// which has two leaves — 1 + 4 + 16 + 32 = 53 qubits, 52 couplings.
-func Xtree53() *Device {
-	g := graph.New(53)
-	coords := make([]geom.Point, 53)
+// OctagonRC returns a rows×cols octagon lattice named name — the Rigetti
+// Aspen family generalized (octagon-1x5 is Aspen-11, octagon-2x5 Aspen-M;
+// see Parse). An R×C lattice has 8·R·C qubits.
+func OctagonRC(name string, rows, cols int) *Device {
+	return octagonLattice(name,
+		fmt.Sprintf("Rigetti-style %dx%d octagon lattice, %d qubits", rows, cols, rows*cols*8),
+		rows, cols)
+}
+
+// XtreeSize returns the qubit count of the X-tree built from a per-level
+// children schedule.
+func XtreeSize(schedule []int) int {
+	n, level := 1, 1
+	for _, c := range schedule {
+		level *= c
+		n += level
+	}
+	return n
+}
+
+// xtree builds an X-tree from a per-level children schedule: the root (level
+// 0) has schedule[0] children, every level-1 node schedule[1], and so on;
+// nodes past the schedule are leaves. Nodes are numbered breadth-first and
+// drawn layered: leaves evenly spaced at the bottom, parents centred over
+// their children.
+func xtree(name, desc string, schedule []int) *Device {
+	if len(schedule) == 0 {
+		panic("topology: xtree needs at least one level")
+	}
+	n := XtreeSize(schedule)
+	g := graph.New(n)
+	coords := make([]geom.Point, n)
 	next := 0
 	newNode := func() int { next++; return next - 1 }
 
@@ -288,14 +349,16 @@ func Xtree53() *Device {
 		level int
 	}
 	frontier := []node{{root, 0}}
-	childCount := map[int]int{0: 4, 1: 4, 2: 2}
 	var leaves []int
-	parent := make([]int, 53)
+	parent := make([]int, n)
 	parent[root] = -1
 	for len(frontier) > 0 {
 		cur := frontier[0]
 		frontier = frontier[1:]
-		cc := childCount[cur.level]
+		cc := 0
+		if cur.level < len(schedule) {
+			cc = schedule[cur.level]
+		}
 		if cc == 0 {
 			leaves = append(leaves, cur.id)
 			continue
@@ -307,8 +370,8 @@ func Xtree53() *Device {
 			frontier = append(frontier, node{ch, cur.level + 1})
 		}
 	}
-	if next != 53 {
-		panic(fmt.Sprintf("xtree: generated %d nodes, want 53", next))
+	if next != n {
+		panic(fmt.Sprintf("xtree: generated %d nodes, want %d", next, n))
 	}
 
 	// Layered tree drawing: leaves evenly spaced at the bottom, parents
@@ -321,17 +384,17 @@ func Xtree53() *Device {
 		return d
 	}
 	sort.Ints(leaves)
-	xPos := make([]float64, 53)
-	havePos := make([]bool, 53)
+	xPos := make([]float64, n)
+	havePos := make([]bool, n)
 	for i, l := range leaves {
 		xPos[l] = float64(i * 2)
 		havePos[l] = true
 	}
 	// Propagate upward (children have larger ids than parents, so a reverse
 	// sweep sees all children before each parent).
-	childSum := make([]float64, 53)
-	childN := make([]int, 53)
-	for q := 52; q >= 0; q-- {
+	childSum := make([]float64, n)
+	childN := make([]int, n)
+	for q := n - 1; q >= 0; q-- {
 		if !havePos[q] {
 			if childN[q] == 0 {
 				panic("xtree: interior node without positioned children")
@@ -344,16 +407,60 @@ func Xtree53() *Device {
 			childN[p]++
 		}
 	}
-	for q := 0; q < 53; q++ {
-		coords[q] = geom.Point{X: xPos[q], Y: float64(3-depth(q)) * 2}
+	maxDepth := len(schedule)
+	for q := 0; q < n; q++ {
+		coords[q] = geom.Point{X: xPos[q], Y: float64(maxDepth-depth(q)) * 2}
 	}
 	return mustDevice(&Device{
-		Name:        "xtree",
-		Description: "Pauli-string efficient X-tree (level 3), 53 qubits",
-		NumQubits:   53,
+		Name:        name,
+		Description: desc,
+		NumQubits:   n,
 		Graph:       g,
 		Coords:      coords,
 	})
+}
+
+// xtree53Schedule is the paper's level-3 X-tree branching: a root with four
+// children, each with four children, each of which has two leaves
+// (1 + 4 + 16 + 32 = 53). The generic family (see XtreeSchedule) branches
+// 4-then-3 instead; both hit 53 qubits at depth 3, and this legacy shape is
+// kept so the "xtree"/"xtree-53" devices stay byte-identical across releases.
+var xtree53Schedule = []int{4, 4, 2}
+
+// XtreeSchedule returns the per-level children schedule of the depth-d
+// member of the parametric X-tree family: the root has four children and
+// every later interior node three (each non-root interior vertex has degree
+// 4), giving 5, 17, 53, 161, ... qubits at depths 1, 2, 3, 4. Depth 3 uses
+// the legacy 4-4-2 schedule (also 53 qubits) for corpus compatibility.
+func XtreeSchedule(depth int) []int {
+	if depth < 1 {
+		panic("topology: xtree depth must be >= 1")
+	}
+	if depth == 3 {
+		return append([]int(nil), xtree53Schedule...)
+	}
+	s := make([]int, depth)
+	s[0] = 4
+	for i := 1; i < depth; i++ {
+		s[i] = 3
+	}
+	return s
+}
+
+// XtreeDepth returns the depth-d X-tree named name (the parametric family:
+// xtree-5, xtree-17, xtree-53, ...; see Parse).
+func XtreeDepth(name string, depth int) *Device {
+	schedule := XtreeSchedule(depth)
+	return xtree(name,
+		fmt.Sprintf("Pauli-string efficient X-tree (level %d), %d qubits", depth, XtreeSize(schedule)),
+		schedule)
+}
+
+// Xtree53 returns the level-3 X-tree of Li et al. (Pauli-string-efficient
+// architecture): a root with four children, each with four children, each of
+// which has two leaves — 1 + 4 + 16 + 32 = 53 qubits, 52 couplings.
+func Xtree53() *Device {
+	return xtree("xtree", "Pauli-string efficient X-tree (level 3), 53 qubits", xtree53Schedule)
 }
 
 // All returns the six evaluation topologies in the paper's Table I order.

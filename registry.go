@@ -129,7 +129,9 @@ func buildCircuit(spec BenchmarkSpec) (*circuit.Circuit, error) {
 }
 
 // RegisteredTopologies returns every registered topology name, sorted —
-// built-ins plus RegisterTopology additions.
+// built-ins plus RegisterTopology additions. Parametric family members
+// (grid-64, xtree-17, ...) resolve without registration and are not listed;
+// see Topologies and TopologyFamilies for the discovery surfaces.
 func RegisteredTopologies() []string {
 	return topology.Names()
 }
@@ -138,4 +140,65 @@ func RegisteredTopologies() []string {
 // built-ins plus RegisterBenchmark additions.
 func RegisteredBenchmarks() []string {
 	return circuit.Names()
+}
+
+// TopologyInfo describes one resolvable topology: its qubit and coupling
+// counts, plus alias/family cross-references where they apply.
+type TopologyInfo = topology.Info
+
+// TopologyFamily describes one parametric topology family: its name-pattern
+// schema and examples that resolve anywhere a topology name is accepted.
+type TopologyFamily = topology.Family
+
+// TopologyCatalog returns a TopologyInfo for every resolvable topology — the
+// registered names (built-ins, legacy aliases, runtime registrations) plus
+// the parser-only canonical family members — sorted by name.
+func TopologyCatalog() []TopologyInfo {
+	return topology.Catalog()
+}
+
+// TopologyFamilies returns the parametric family catalogue: for each family,
+// the accepted name schema (e.g. "grid-<n> | grid-<r>x<c>") and resolvable
+// examples.
+func TopologyFamilies() []TopologyFamily {
+	return topology.Families()
+}
+
+// ResolveTopology resolves name the way the engine does — the registry
+// (built-ins, legacy aliases, runtime registrations) first, then the
+// parametric family parser — and returns the device's qubit and coupling
+// counts. Unresolvable names wrap ErrUnknownTopology. Use it to validate a
+// topology name without running the pipeline.
+func ResolveTopology(name string) (TopologyInfo, error) {
+	d, err := topology.ByName(name)
+	if err != nil {
+		return TopologyInfo{}, err
+	}
+	return TopologyInfo{
+		Name:        d.Name,
+		Qubits:      d.NumQubits,
+		Edges:       d.Graph.M(),
+		Description: d.Description,
+	}, nil
+}
+
+// BenchmarkInfo describes one registered benchmark circuit.
+type BenchmarkInfo struct {
+	Name   string `json:"name"`
+	Qubits int    `json:"qubits"`
+}
+
+// BenchmarkCatalog returns a BenchmarkInfo for every registered benchmark,
+// sorted by name.
+func BenchmarkCatalog() []BenchmarkInfo {
+	names := circuit.Names()
+	out := make([]BenchmarkInfo, 0, len(names))
+	for _, n := range names {
+		b, err := circuit.ByName(n)
+		if err != nil {
+			continue // racing unregistration; skip rather than fail discovery
+		}
+		out = append(out, BenchmarkInfo{Name: b.Name, Qubits: b.Qubits})
+	}
+	return out
 }

@@ -393,15 +393,24 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
+// handleTopologies keeps the original flat name list for existing clients
+// and adds the discovery catalog: per-topology qubit/coupling counts with
+// alias cross-references, plus the parametric family schemas (grid-<n>,
+// octagon-<r>x<c>, ...) that resolve without registration.
 func (s *Server) handleTopologies(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"topologies": qplacer.RegisteredTopologies(),
+		"catalog":    qplacer.TopologyCatalog(),
+		"families":   qplacer.TopologyFamilies(),
 	})
 }
 
+// handleBenchmarks keeps the original flat name list and adds the catalog
+// with per-benchmark qubit counts.
 func (s *Server) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"benchmarks": qplacer.RegisteredBenchmarks(),
+		"catalog":    qplacer.BenchmarkCatalog(),
 	})
 }
 

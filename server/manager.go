@@ -348,8 +348,8 @@ func (m *Manager) normalize(req Request) (Request, error) {
 		return req, err
 	}
 	req.Options = opts
-	if !containsName(qplacer.RegisteredTopologies(), opts.Topology) {
-		return req, fmt.Errorf("%w: %q", qplacer.ErrUnknownTopology, opts.Topology)
+	if _, err := qplacer.ResolveTopology(opts.Topology); err != nil {
+		return req, err
 	}
 	if len(req.Benchmarks) == 0 {
 		req.Benchmarks = qplacer.RegisteredBenchmarks()

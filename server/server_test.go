@@ -198,6 +198,8 @@ func TestSubmitValidation(t *testing.T) {
 		{"unknown placer", `{"topology":"grid","placer":"ouija"}`, http.StatusBadRequest, "unknown_placer"},
 		{"unknown legalizer", `{"topology":"grid","legalizer":"ouija"}`, http.StatusBadRequest, "unknown_legalizer"},
 		{"malformed JSON", `{"topology":`, http.StatusBadRequest, "bad_request"},
+		{"malformed parametric name", `{"topology":"grid-0"}`, http.StatusNotFound, "unknown_topology"},
+		{"out-of-series xtree", `{"topology":"xtree-21"}`, http.StatusNotFound, "unknown_topology"},
 	}
 	for _, tc := range cases {
 		var errResp struct {
@@ -218,6 +220,29 @@ func TestSubmitValidation(t *testing.T) {
 		if code := call(t, http.MethodGet, ts.URL+url, "", &errResp); code != http.StatusNotFound || errResp.Code != "unknown_job" {
 			t.Fatalf("GET %s: status %d code %q, want 404 unknown_job", url, code, errResp.Code)
 		}
+	}
+}
+
+// TestSubmitParametricTopology pins that POST /v1/plans resolves parametric
+// family names (no prior registration) end to end.
+func TestSubmitParametricTopology(t *testing.T) {
+	ts := newTS(t, server.Config{Workers: 1})
+
+	body := `{"topology":"grid-9","max_iters":5,"skip_legalize":true,"benchmarks":["bv-4"],"mappings":2}`
+	var sub server.SubmitResponse
+	if code := call(t, http.MethodPost, ts.URL+"/v1/plans", body, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", code)
+	}
+	view := pollJob(t, ts.URL, sub.Job.ID, server.StateDone)
+	if view.Error != "" {
+		t.Fatalf("parametric job failed: %q", view.Error)
+	}
+	var doc resultDoc
+	if code := call(t, http.MethodGet, ts.URL+"/v1/jobs/"+sub.Job.ID+"/result", "", &doc); code != http.StatusOK {
+		t.Fatalf("result status %d, want 200", code)
+	}
+	if doc.Plan.Device.Name != "grid-9" || doc.Plan.NumCells == 0 {
+		t.Fatalf("parametric plan degenerate: %+v", doc.Plan)
 	}
 }
 
@@ -317,18 +342,70 @@ func TestRegistriesHealthAndMetrics(t *testing.T) {
 
 	var topos struct {
 		Topologies []string `json:"topologies"`
+		Catalog    []struct {
+			Name      string `json:"name"`
+			Canonical string `json:"canonical"`
+			Qubits    int    `json:"qubits"`
+			Edges     int    `json:"edges"`
+		} `json:"catalog"`
+		Families []struct {
+			Name     string   `json:"name"`
+			Schema   string   `json:"schema"`
+			Examples []string `json:"examples"`
+		} `json:"families"`
 	}
 	if code := call(t, http.MethodGet, ts.URL+"/v1/topologies", "", &topos); code != http.StatusOK {
 		t.Fatalf("topologies status %d", code)
 	}
 	var benches struct {
 		Benchmarks []string `json:"benchmarks"`
+		Catalog    []struct {
+			Name   string `json:"name"`
+			Qubits int    `json:"qubits"`
+		} `json:"catalog"`
 	}
 	if code := call(t, http.MethodGet, ts.URL+"/v1/benchmarks", "", &benches); code != http.StatusOK {
 		t.Fatalf("benchmarks status %d", code)
 	}
 	if !contains(topos.Topologies, "grid") || !contains(benches.Benchmarks, "bv-4") {
 		t.Fatalf("registries missing built-ins: %v / %v", topos.Topologies, benches.Benchmarks)
+	}
+	// The catalog carries counts and alias cross-references for every
+	// registered name, and the family schemas for parametric resolution.
+	catalog := map[string]struct {
+		canonical     string
+		qubits, edges int
+	}{}
+	for _, in := range topos.Catalog {
+		catalog[in.Name] = struct {
+			canonical     string
+			qubits, edges int
+		}{in.Canonical, in.Qubits, in.Edges}
+	}
+	if g := catalog["grid"]; g.qubits != 25 || g.edges != 40 || g.canonical != "grid-25" {
+		t.Fatalf("grid catalog entry = %+v", g)
+	}
+	if hb := catalog["hummingbird-65"]; hb.qubits != 65 || hb.edges != 72 {
+		t.Fatalf("hummingbird-65 catalog entry = %+v", hb)
+	}
+	famNames := map[string]bool{}
+	for _, f := range topos.Families {
+		if f.Schema == "" || len(f.Examples) == 0 {
+			t.Fatalf("family %q underspecified: %+v", f.Name, f)
+		}
+		famNames[f.Name] = true
+	}
+	for _, want := range []string{"grid", "octagon", "xtree", "hummingbird"} {
+		if !famNames[want] {
+			t.Fatalf("families missing %q: %v", want, famNames)
+		}
+	}
+	benchQubits := map[string]int{}
+	for _, b := range benches.Catalog {
+		benchQubits[b.Name] = b.Qubits
+	}
+	if benchQubits["bv-4"] != 4 {
+		t.Fatalf("bv-4 catalog qubits = %d", benchQubits["bv-4"])
 	}
 
 	var health struct {
