@@ -80,6 +80,19 @@ type StageState struct {
 	// inherently sequential algorithms (e.g. the annealer's Metropolis
 	// chain) are free to ignore it.
 	Parallelism int
+
+	// AdaptiveGranularity, when set, lets each parallelizable stage fall
+	// back to its serial kernel below an auto-calibrated problem-size
+	// cutoff (see WithAdaptiveGranularity). Like Parallelism it is a
+	// scheduling hint only: gating selects between bit-identical
+	// implementations, so results never depend on it.
+	AdaptiveGranularity bool
+
+	// DeltaEval, when set, enables incremental gradient evaluation across
+	// placement iterations (see WithDeltaEval). The delta paths are exact
+	// by construction; a backend honouring this MUST still produce results
+	// bit-identical to a full recompute.
+	DeltaEval bool
 }
 
 // PlaceOutcome reports a finished global placement.

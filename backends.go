@@ -7,6 +7,7 @@ import (
 	"qplacer/internal/geom"
 	"qplacer/internal/legal"
 	"qplacer/internal/obs"
+	"qplacer/internal/parallel"
 	"qplacer/internal/place"
 )
 
@@ -27,6 +28,12 @@ func (nesterovPlacer) Place(ctx context.Context, st *StageState, observer Observ
 	cfg.Span = obs.SpanFrom(ctx)
 	cfg.Seed = st.Options.Seed
 	cfg.Workers = st.Parallelism
+	cfg.DeltaEval = st.DeltaEval
+	if !st.AdaptiveGranularity {
+		// The zero cutoffs disable gating: every stage fans out whenever a
+		// pool exists. nil would mean auto-calibrate.
+		cfg.Cutoffs = &parallel.Cutoffs{}
+	}
 	if st.Options.MaxIters > 0 {
 		cfg.MaxIters = st.Options.MaxIters
 	}
@@ -115,6 +122,9 @@ func (shelfLegalizer) Legalize(ctx context.Context, st *StageState, region geom.
 	// legalizer, exactly as it would from its own engine.
 	cfg.FrequencyAware = st.Options.Scheme == SchemeQplacer
 	cfg.Workers = st.Parallelism
+	if !st.AdaptiveGranularity {
+		cfg.Cutoffs = &parallel.Cutoffs{}
+	}
 	cfg.Progress = legalProgress(observer, DefaultLegalizerName)
 	res, err := legal.LegalizeCtx(ctx, st.Netlist, region, st.Options.DeltaC, cfg)
 	if err != nil {
@@ -137,6 +147,9 @@ func (greedyLegalizer) Legalize(ctx context.Context, st *StageState, region geom
 	cfg.Span = obs.SpanFrom(ctx)
 	cfg.FrequencyAware = st.Options.Scheme == SchemeQplacer
 	cfg.Workers = st.Parallelism
+	if !st.AdaptiveGranularity {
+		cfg.Cutoffs = &parallel.Cutoffs{}
+	}
 	cfg.Progress = legalProgress(observer, "greedy")
 	res, err := legal.RowScanCtx(ctx, st.Netlist, region, st.Options.DeltaC, cfg)
 	if err != nil {

@@ -121,6 +121,9 @@ func main() {
 		quick      = flag.Bool("quick", false, "CI smoke preset: grid only, workers 1,2, -iters 30, -runs 1")
 		check      = flag.String("check", "", "validate an existing document instead of benchmarking")
 		minSpeedup = flag.Float64("min-speedup", 0.5, "-check: minimum best parallel speedup per group (0.5 tolerates single-core hosts; CI uses 0.7)")
+		requireWin = flag.Bool("require-win", true, "-check: fail when no parallel entry in the whole document beats serial (speedup > 1), unless the document is flagged degraded_host")
+		noDelta    = flag.Bool("no-delta", false, "disable incremental (delta) gradient evaluation for the measured runs")
+		noAdaptive = flag.Bool("no-adaptive", false, "disable adaptive granularity: every parallel stage fans out regardless of problem size")
 		noTimings  = flag.Bool("no-timings", false, "skip the extra traced run that records the per-stage span breakdown")
 		suites     = flag.String("suite", "", "comma-separated generated-suite files (see qplacer-gen); their topologies join the sweep and their spec hashes are recorded")
 		version    = flag.Bool("version", false, "print build/version info and exit")
@@ -133,7 +136,7 @@ func main() {
 	}
 
 	if *check != "" {
-		if err := checkDocument(*check, *minSpeedup); err != nil {
+		if err := checkDocument(*check, *minSpeedup, *requireWin); err != nil {
 			log.Fatal(err)
 		}
 		log.Printf("%s: OK", *check)
@@ -194,13 +197,27 @@ func main() {
 			}
 		}
 	}
+	if max := runtime.GOMAXPROCS(0); workerList[len(workerList)-1] > max {
+		log.Printf("NOTE: worker counts above GOMAXPROCS=%d are clamped by the engine; those entries measure the clamped pool", max)
+	}
+
+	// Scheduling toggles for the measured runs. Both are exact — parity
+	// still holds against any serial baseline — but the timing columns
+	// reflect the toggled configuration.
+	var extra []qplacer.Option
+	if *noDelta {
+		extra = append(extra, qplacer.WithDeltaEval(false))
+	}
+	if *noAdaptive {
+		extra = append(extra, qplacer.WithAdaptiveGranularity(false))
+	}
 
 	for _, topo := range splitList(*topologies) {
 		for _, placer := range splitList(*placers) {
 			for _, legalizer := range splitList(*legalizers) {
 				var serial *Entry
 				for _, w := range workerList {
-					e, err := measure(ctx, topo, placer, legalizer, w, *iters, *runs, *warmup, !*noTimings)
+					e, err := measure(ctx, topo, placer, legalizer, w, *iters, *runs, *warmup, !*noTimings, extra)
 					if err != nil {
 						log.Fatal(err)
 					}
@@ -240,7 +257,7 @@ func main() {
 // columns are identical across runs; only the clock varies. With timings set,
 // one additional traced run captures the per-stage span breakdown after the
 // measured runs, so tracing overhead never touches the timing columns.
-func measure(ctx context.Context, topo, placer, legalizer string, workers, iters, runs, warmup int, timings bool) (Entry, error) {
+func measure(ctx context.Context, topo, placer, legalizer string, workers, iters, runs, warmup int, timings bool, extra []qplacer.Option) (Entry, error) {
 	e := Entry{
 		Topology: topo, Placer: placer, Legalizer: legalizer,
 		Workers: workers,
@@ -251,11 +268,12 @@ func measure(ctx context.Context, topo, placer, legalizer string, workers, iters
 		Placer:    placer,
 		Legalizer: legalizer,
 	}
+	engineOpts := append([]qplacer.Option{qplacer.WithParallelism(workers)}, extra...)
 	for r := 0; r < warmup+runs; r++ {
 		start := time.Now()
 		// A fresh engine per run: the plan cache would otherwise hand the
 		// second run back the first run's result without doing any work.
-		plan, err := qplacer.New(qplacer.WithParallelism(workers)).
+		plan, err := qplacer.New(engineOpts...).
 			Plan(ctx, qplacer.WithOptions(opts))
 		if err != nil {
 			return e, fmt.Errorf("%s/%s/%s workers=%d: %w", topo, placer, legalizer, workers, err)
@@ -276,7 +294,7 @@ func measure(ctx context.Context, topo, placer, legalizer string, workers, iters
 		e.PhPercent = plan.Metrics.Ph
 	}
 	if timings {
-		plan, err := qplacer.New(qplacer.WithParallelism(workers), qplacer.WithTracing(true)).
+		plan, err := qplacer.New(append(engineOpts, qplacer.WithTracing(true))...).
 			Plan(ctx, qplacer.WithOptions(opts))
 		if err != nil {
 			return e, fmt.Errorf("%s/%s/%s workers=%d traced run: %w", topo, placer, legalizer, workers, err)
@@ -287,9 +305,14 @@ func measure(ctx context.Context, topo, placer, legalizer string, workers, iters
 }
 
 // checkDocument enforces the CI invariants on an existing document: it
-// parses, every entry passed parity, and each group's best parallel entry
-// clears the speedup floor.
-func checkDocument(path string, minSpeedup float64) error {
+// parses, every entry passed parity, each group's best parallel entry clears
+// the speedup floor, and — with requireWin, unless the document is flagged
+// degraded_host — at least one parallel entry actually beat serial. The last
+// check is the parallel-slower-than-serial regression gate: a healthy
+// multi-core run where every speedup is below 1.0 means parallelism is a
+// net loss and must fail loudly instead of hiding behind the tolerance
+// floor.
+func checkDocument(path string, minSpeedup float64, requireWin bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -317,6 +340,18 @@ func checkDocument(path string, minSpeedup float64) error {
 		seen[g] = true
 		if e.Workers > 1 && e.SpeedupVsSerial > best[g] {
 			best[g] = e.SpeedupVsSerial
+		}
+	}
+	if requireWin && !doc.DegradedHost {
+		won := false
+		for _, s := range best {
+			if s > 1.0 {
+				won = true
+				break
+			}
+		}
+		if !won {
+			return fmt.Errorf("%s: no parallel entry beat serial (every speedup_vs_serial <= 1.0) and the document is not flagged degraded_host — the parallel path is a net loss on this host", path)
 		}
 	}
 	for g := range seen {

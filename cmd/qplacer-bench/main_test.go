@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeDoc marshals a Document into a temp file and returns its path.
+func writeDoc(t *testing.T, doc Document) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func entry(topo string, workers int, speedup float64) Entry {
+	return Entry{
+		Topology: topo, Placer: "nesterov", Legalizer: "shelf",
+		Workers: workers, NsPerIter: 1000, SpeedupVsSerial: speedup,
+		ParityVsSerial: true,
+	}
+}
+
+// TestCheckRequiresAParallelWin is the regression gate: a multi-core
+// document where every parallel entry loses to serial must fail -check
+// unless it is explicitly flagged degraded_host.
+func TestCheckRequiresAParallelWin(t *testing.T) {
+	losing := Document{
+		Entries: []Entry{
+			entry("grid", 1, 1.0),
+			entry("grid", 2, 0.62),
+			entry("grid", 4, 0.55),
+		},
+	}
+
+	path := writeDoc(t, losing)
+	err := checkDocument(path, 0.5, true)
+	if err == nil {
+		t.Fatal("all-losing document passed -check with require-win")
+	}
+	if !strings.Contains(err.Error(), "degraded_host") {
+		t.Fatalf("error should point at the degraded_host escape hatch, got: %v", err)
+	}
+
+	// The explicit degraded_host flag is the only escape hatch.
+	losing.DegradedHost = true
+	if err := checkDocument(writeDoc(t, losing), 0.5, true); err != nil {
+		t.Fatalf("degraded_host document should pass: %v", err)
+	}
+
+	// Without require-win the tolerance floor alone governs.
+	losing.DegradedHost = false
+	if err := checkDocument(writeDoc(t, losing), 0.5, false); err != nil {
+		t.Fatalf("require-win=false should defer to the floor: %v", err)
+	}
+}
+
+// TestCheckAcceptsAWinningDocument: one genuine win anywhere satisfies the
+// gate.
+func TestCheckAcceptsAWinningDocument(t *testing.T) {
+	doc := Document{
+		Entries: []Entry{
+			entry("grid", 1, 1.0),
+			entry("grid", 2, 0.9),
+			entry("eagle", 1, 1.0),
+			entry("eagle", 2, 1.7),
+		},
+	}
+	if err := checkDocument(writeDoc(t, doc), 0.5, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckStillEnforcesParityAndFloor: require-win does not weaken the
+// existing invariants.
+func TestCheckStillEnforcesParityAndFloor(t *testing.T) {
+	bad := Document{
+		Entries: []Entry{
+			entry("grid", 1, 1.0),
+			entry("grid", 2, 1.4),
+		},
+	}
+	bad.Entries[1].ParityVsSerial = false
+	if err := checkDocument(writeDoc(t, bad), 0.5, true); err == nil {
+		t.Fatal("parity failure passed -check")
+	}
+
+	slow := Document{
+		Entries: []Entry{
+			entry("grid", 1, 1.0),
+			entry("grid", 2, 1.2),
+			entry("eagle", 1, 1.0),
+			entry("eagle", 2, 0.3),
+		},
+	}
+	if err := checkDocument(writeDoc(t, slow), 0.5, true); err == nil {
+		t.Fatal("below-floor group passed -check")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -158,7 +159,11 @@ func (e *Engine) Plan(ctx context.Context, opts ...Option) (*PlanResult, error) 
 	for _, o := range opts {
 		o(&s)
 	}
-	return e.planWith(ctx, s.opts, s.observer, s.validation, s.parallelism, s.tracing)
+	return e.planWith(ctx, s.opts, s.observer, s.validation, planKnobs{
+		parallelism: s.parallelism,
+		adaptive:    s.adaptive,
+		deltaEval:   s.deltaEval,
+	}, s.tracing)
 }
 
 // PlanOptions is Plan taking the options as a struct — the migration path
@@ -166,10 +171,24 @@ func (e *Engine) Plan(ctx context.Context, opts ...Option) (*PlanResult, error) 
 // observer, if one was configured at New, and verifies under the engine-wide
 // validation mode.
 func (e *Engine) PlanOptions(ctx context.Context, opts Options) (*PlanResult, error) {
-	return e.planWith(ctx, opts, e.settings.observer, e.settings.validation, e.settings.parallelism, e.settings.tracing)
+	s := e.settings
+	return e.planWith(ctx, opts, s.observer, s.validation, planKnobs{
+		parallelism: s.parallelism,
+		adaptive:    s.adaptive,
+		deltaEval:   s.deltaEval,
+	}, s.tracing)
 }
 
-func (e *Engine) planWith(ctx context.Context, opts Options, observer Observer, vmode ValidationMode, par int, traced bool) (*PlanResult, error) {
+// planKnobs bundles the scheduling-only settings threaded into one plan run.
+// None of them may change results, which is why they travel beside Options
+// rather than inside it.
+type planKnobs struct {
+	parallelism int
+	adaptive    bool
+	deltaEval   bool
+}
+
+func (e *Engine) planWith(ctx context.Context, opts Options, observer Observer, vmode ValidationMode, knobs planKnobs, traced bool) (*PlanResult, error) {
 	start := time.Now()
 	if ctx == nil {
 		ctx = context.Background()
@@ -199,6 +218,16 @@ func (e *Engine) planWith(ctx context.Context, opts Options, observer Observer, 
 		root = obs.NewSpan("plan")
 	}
 	rootTimer := root.StartAt(start)
+
+	// Clamp the requested parallelism to the schedulable CPUs: a CPU-bound
+	// hot path gains nothing from oversubscription, it only pays context
+	// switches. The clamp is a scheduling decision, so it is annotated on
+	// the trace rather than reported as an error.
+	par := knobs.parallelism
+	if max := runtime.GOMAXPROCS(0); par > max {
+		root.Note(fmt.Sprintf("parallelism clamped from %d to %d (GOMAXPROCS)", par, max))
+		par = max
+	}
 
 	st, err := e.stage(norm, root)
 	if err != nil {
@@ -230,11 +259,13 @@ func (e *Engine) planWith(ctx context.Context, opts Options, observer Observer, 
 		out.Integrated = true
 	case SchemeQplacer, SchemeClassic:
 		state := &StageState{
-			Options:     norm,
-			Device:      st.device,
-			Netlist:     nl,
-			Collision:   st.collision,
-			Parallelism: par,
+			Options:             norm,
+			Device:              st.device,
+			Netlist:             nl,
+			Collision:           st.collision,
+			Parallelism:         par,
+			AdaptiveGranularity: knobs.adaptive,
+			DeltaEval:           knobs.deltaEval,
 		}
 		placer, err := PlacerByName(norm.Placer)
 		if err != nil {

@@ -4,9 +4,12 @@
 // Poisson operator with Neumann (cosine-basis) boundary conditions, exactly
 // as in the ePlace density formulation the paper builds on.
 //
-// All lengths must be powers of two. The package is stdlib-only and
-// allocation-conscious: a Plan caches twiddle factors and scratch space for
-// repeated transforms of one size.
+// The real transforms exploit input symmetry (Makhoul's permutation): a
+// length-n DCT needs only one length-n/2 complex FFT, a 4× reduction over the
+// naive length-2n mirrored embedding. All lengths must be powers of two. The
+// package is stdlib-only and allocation-conscious: a Plan caches twiddle,
+// phase, and permutation tables plus scratch space for repeated transforms of
+// one size, and Clone shares the immutable tables across per-worker plans.
 package fft
 
 import (
@@ -32,56 +35,114 @@ func NextPow2(n int) int {
 	return 1 << bits.Len(uint(n))
 }
 
-// Plan holds precomputed state for transforms of a fixed length n
-// (power of two). A Plan is not safe for concurrent use.
-type Plan struct {
+// tables holds the precomputed, immutable state for real transforms of one
+// length: twiddle/bit-reversal tables for the half-length complex FFT, the
+// DCT twist phases, the even/odd unpack factors, and Makhoul's input
+// permutation. One tables value is shared (read-only) by every Plan cloned
+// from the same original, so per-worker plans cost only scratch space.
+type tables struct {
 	n       int          // real-domain transform length
-	m       int          // complex FFT length = 2n
+	m       int          // complex FFT length = n/2
 	twiddle []complex128 // e^{-2πi k/m}, k = 0..m/2-1
 	rev     []int        // bit-reversal permutation for length m
-	buf     []complex128 // scratch of length m
 	phase   []complex128 // e^{-iπ k/(2n)}, k = 0..n-1 (DCT-II post-twist)
 	phaseI  []complex128 // e^{+iπ k/(2n)}, k = 0..n-1 (DCT-III pre-twist)
+	unpack  []complex128 // e^{-2πi k/n}, k = 0..m-1 (even/odd recombination)
+	unpackI []complex128 // e^{+2πi k/n}, k = 0..m-1
+	perm    []int        // Makhoul permutation: v[q] = x[perm[q]]
 }
 
-// NewPlan returns a Plan for real transforms of length n (power of two).
-func NewPlan(n int) *Plan {
+func newTables(n int) *tables {
 	if !IsPow2(n) {
 		panic(fmt.Sprintf("fft: length %d is not a power of two", n))
 	}
-	m := 2 * n
-	p := &Plan{
+	m := n / 2
+	t := &tables{
 		n:       n,
 		m:       m,
 		twiddle: make([]complex128, m/2),
 		rev:     make([]int, m),
-		buf:     make([]complex128, m),
 		phase:   make([]complex128, n),
 		phaseI:  make([]complex128, n),
+		unpack:  make([]complex128, m),
+		unpackI: make([]complex128, m),
+		perm:    make([]int, n),
 	}
-	for k := range p.twiddle {
-		p.twiddle[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(m)))
+	for k := range t.twiddle {
+		t.twiddle[k] = cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(m)))
 	}
-	shift := bits.LeadingZeros(uint(m)) + 1
-	for i := range p.rev {
-		p.rev[i] = int(bits.Reverse(uint(i)) >> shift)
+	if m > 0 {
+		shift := bits.LeadingZeros(uint(m)) + 1
+		for i := range t.rev {
+			t.rev[i] = int(bits.Reverse(uint(i)) >> shift)
+		}
 	}
 	for k := 0; k < n; k++ {
-		ang := math.Pi * float64(k) / float64(m)
-		p.phase[k] = cmplx.Exp(complex(0, -ang))
-		p.phaseI[k] = cmplx.Exp(complex(0, ang))
+		ang := math.Pi * float64(k) / float64(2*n)
+		t.phase[k] = cmplx.Exp(complex(0, -ang))
+		t.phaseI[k] = cmplx.Exp(complex(0, ang))
 	}
-	return p
+	for k := 0; k < m; k++ {
+		w := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		t.unpack[k] = w
+		t.unpackI[k] = cmplx.Conj(w)
+	}
+	// Even-indexed samples ascending, then odd-indexed samples descending:
+	// the classic real-DCT input reordering.
+	if n == 1 {
+		t.perm[0] = 0
+		return t
+	}
+	for q := 0; q < m; q++ {
+		t.perm[q] = 2 * q
+	}
+	for q := m; q < n; q++ {
+		t.perm[q] = 2*(n-1-q) + 1
+	}
+	return t
 }
 
-// N returns the real-domain transform length of the plan.
-func (p *Plan) N() int { return p.n }
+// Plan holds the tables and scratch for transforms of a fixed length n
+// (power of two). A Plan is not safe for concurrent use; Clone cheap copies
+// for other goroutines share the immutable tables.
+type Plan struct {
+	tab  *tables
+	buf  []complex128 // scratch of length m (the packed half-length signal)
+	vbuf []complex128 // scratch of length m+1 (the twisted spectrum V[0..m])
+}
 
-// fft performs an in-place forward DFT of length p.m on a
+// NewPlan returns a Plan for real transforms of length n (power of two).
+func NewPlan(n int) *Plan {
+	return planFromTables(newTables(n))
+}
+
+func planFromTables(t *tables) *Plan {
+	return &Plan{
+		tab:  t,
+		buf:  make([]complex128, t.m),
+		vbuf: make([]complex128, t.m+1),
+	}
+}
+
+// Clone returns an independent Plan (fresh scratch) sharing this plan's
+// immutable twiddle/phase/permutation tables. Clones are safe to use
+// concurrently with the original and with each other.
+func (p *Plan) Clone() *Plan { return planFromTables(p.tab) }
+
+// N returns the real-domain transform length of the plan.
+func (p *Plan) N() int { return p.tab.n }
+
+// ComplexLen returns the length of the plan's complex FFT (n/2): the real
+// transforms pack their input into a half-length complex signal, so FFT and
+// IFFT operate on slices of this length.
+func (p *Plan) ComplexLen() int { return p.tab.m }
+
+// fft performs an in-place forward DFT of length p.tab.m on a
 // (convention: X_k = Σ_n x_n e^{-2πi nk/m}).
 func (p *Plan) fft(a []complex128) {
-	m := p.m
-	for i, j := range p.rev {
+	t := p.tab
+	m := t.m
+	for i, j := range t.rev {
 		if i < j {
 			a[i], a[j] = a[j], a[i]
 		}
@@ -91,7 +152,7 @@ func (p *Plan) fft(a []complex128) {
 		step := m / size
 		for start := 0; start < m; start += size {
 			for k := 0; k < half; k++ {
-				w := p.twiddle[k*step]
+				w := t.twiddle[k*step]
 				u := a[start+k]
 				v := a[start+k+half] * w
 				a[start+k] = u + v
@@ -101,24 +162,24 @@ func (p *Plan) fft(a []complex128) {
 	}
 }
 
-// FFT computes the forward DFT of a (length must be 2n for this plan).
+// FFT computes the forward DFT of a (length must be ComplexLen()).
 func (p *Plan) FFT(a []complex128) {
-	if len(a) != p.m {
-		panic(fmt.Sprintf("fft: FFT length %d, plan expects %d", len(a), p.m))
+	if len(a) != p.tab.m {
+		panic(fmt.Sprintf("fft: FFT length %d, plan expects %d", len(a), p.tab.m))
 	}
 	p.fft(a)
 }
 
 // IFFT computes the inverse DFT of a with 1/m normalization.
 func (p *Plan) IFFT(a []complex128) {
-	if len(a) != p.m {
-		panic(fmt.Sprintf("fft: IFFT length %d, plan expects %d", len(a), p.m))
+	if len(a) != p.tab.m {
+		panic(fmt.Sprintf("fft: IFFT length %d, plan expects %d", len(a), p.tab.m))
 	}
 	for i := range a {
 		a[i] = cmplx.Conj(a[i])
 	}
 	p.fft(a)
-	inv := 1 / float64(p.m)
+	inv := 1 / float64(p.tab.m)
 	for i := range a {
 		a[i] = complex(real(a[i])*inv, -imag(a[i])*inv)
 	}
@@ -129,22 +190,67 @@ func (p *Plan) IFFT(a []complex128) {
 //	dst[k] = Σ_{j=0}^{n-1} src[j] · cos(π k (2j+1) / (2n)).
 //
 // dst and src must have length n and may alias.
+//
+// Real-input path (Makhoul): permute src into v (evens ascending, odds
+// descending), pack v's pairs into a length-m=n/2 complex signal, run one
+// length-m FFT, recombine the even/odd spectra into V = DFT_n(v), and read
+// DCT2[k] = Re(e^{-iπk/(2n)} V[k]) — with the conjugate symmetry of the real
+// spectrum yielding dst[n-k] from the same V[k].
 func (p *Plan) DCT2(dst, src []float64) {
-	n := p.n
+	t := p.tab
+	n, m := t.n, t.m
 	if len(src) != n || len(dst) != n {
 		panic("fft: DCT2 length mismatch")
 	}
-	// Pack src with its mirror into a length-2n complex buffer:
-	// v = [x_0..x_{n-1}, x_{n-1}..x_0]; then
-	// DCT2[k] = Re(e^{-iπk/(2n)} · FFT(v)[k]) / 2.
-	for j := 0; j < n; j++ {
-		x := complex(src[j], 0)
-		p.buf[j] = x
-		p.buf[p.m-1-j] = x
+	if n == 1 {
+		dst[0] = src[0]
+		return
+	}
+	for q := 0; q < m; q++ {
+		p.buf[q] = complex(src[t.perm[2*q]], src[t.perm[2*q+1]])
 	}
 	p.fft(p.buf)
-	for k := 0; k < n; k++ {
-		dst[k] = real(p.phase[k]*p.buf[k]) / 2
+	z0 := p.buf[0]
+	// V[0] and V[m] are real: the DC and Nyquist bins of the real signal v.
+	dst[0] = real(z0) + imag(z0)
+	dst[m] = (real(z0) - imag(z0)) * real(t.phase[m])
+	for k := 1; k < m; k++ {
+		zk := p.buf[k]
+		zmk := cmplx.Conj(p.buf[m-k])
+		ev := (zk + zmk) * complex(0.5, 0)
+		od := (zk - zmk) * complex(0, -0.5)
+		v := ev + t.unpack[k]*od
+		dst[k] = real(t.phase[k] * v)
+		dst[n-k] = real(t.phase[n-k] * cmplx.Conj(v))
+	}
+}
+
+// dct3core computes the shared inverse route for DCT3 and DST3M from the
+// twisted spectrum V[0..m] already placed in p.vbuf: recover the even/odd
+// half-spectra, rebuild the packed complex signal with one conjugated
+// forward FFT, and un-permute into dst. The route is the exact algebraic
+// inverse of DCT2's real-input path, with the conventional n/2 scale of the
+// unnormalized DCT-III folded in (it cancels the IFFT's 1/m, so no
+// normalization pass is needed).
+func (p *Plan) dct3core(dst []float64) {
+	t := p.tab
+	m := t.m
+	v0 := p.vbuf[0]
+	vm := cmplx.Conj(p.vbuf[m])
+	// buf holds conj(Z): z = conj(FFT(conj(Z))) evaluates the inverse DFT.
+	p.buf[0] = cmplx.Conj((v0+vm)*complex(0.5, 0) + (v0-vm)*complex(0, 0.5))
+	for k := 1; k < m; k++ {
+		vk := p.vbuf[k]
+		vmk := cmplx.Conj(p.vbuf[m-k])
+		ev := (vk + vmk) * complex(0.5, 0)
+		od := t.unpackI[k] * (vk - vmk) * complex(0, 0.5)
+		p.buf[k] = cmplx.Conj(ev + od)
+	}
+	p.fft(p.buf)
+	for q := 0; q < m; q++ {
+		z := p.buf[q]
+		dst[t.perm[2*q]] = real(z)
+		dst[t.perm[2*q+1]] = -imag(z)
 	}
 }
 
@@ -155,26 +261,22 @@ func (p *Plan) DCT2(dst, src []float64) {
 // DCT3(DCT2(x)) = (n/2)·x, so the exact inverse of DCT2 is (2/n)·DCT3.
 // dst and src must have length n and may alias.
 func (p *Plan) DCT3(dst, src []float64) {
-	n := p.n
+	t := p.tab
+	n, m := t.n, t.m
 	if len(src) != n || len(dst) != n {
 		panic("fft: DCT3 length mismatch")
 	}
-	// dst[j] = Re( Σ_{k} u_k e^{+2πi kj/(2n)} ) with u_0 = src[0]/2,
-	// u_k = src[k] e^{+iπk/(2n)}; evaluate via conjugated forward FFT.
-	p.buf[0] = complex(src[0]/2, 0)
-	for k := 1; k < n; k++ {
-		p.buf[k] = p.phaseI[k] * complex(src[k], 0)
+	if n == 1 {
+		dst[0] = src[0] / 2
+		return
 	}
-	for k := n; k < p.m; k++ {
-		p.buf[k] = 0
+	// Twist the real coefficients into the half-spectrum V[0..m]:
+	// V[k] = e^{+iπk/(2n)} (c[k] − i·c[n−k]), with c[n] ≡ 0.
+	p.vbuf[0] = complex(src[0], 0)
+	for k := 1; k <= m; k++ {
+		p.vbuf[k] = t.phaseI[k] * complex(src[k], -src[n-k])
 	}
-	for i := range p.buf {
-		p.buf[i] = cmplx.Conj(p.buf[i])
-	}
-	p.fft(p.buf)
-	for j := 0; j < n; j++ {
-		dst[j] = real(p.buf[j]) // Re(conj(z)) == Re(z)
-	}
+	p.dct3core(dst)
 }
 
 // DST3M computes the mixed sine synthesis used for the electric field:
@@ -182,24 +284,26 @@ func (p *Plan) DCT3(dst, src []float64) {
 //	dst[j] = Σ_{k=1}^{n-1} src[k] · sin(π k (2j+1) / (2n)).
 //
 // src[0] is ignored. dst and src must have length n and may alias.
+//
+// It rides the DCT3 route via the index-reversal identity
+// DST3M(s)[j] = (−1)^j · DCT3(s̃)[j] with s̃[k] = s[n−k], s̃[0] = 0.
 func (p *Plan) DST3M(dst, src []float64) {
-	n := p.n
+	t := p.tab
+	n, m := t.n, t.m
 	if len(src) != n || len(dst) != n {
 		panic("fft: DST3M length mismatch")
 	}
-	p.buf[0] = 0
-	for k := 1; k < n; k++ {
-		p.buf[k] = p.phaseI[k] * complex(src[k], 0)
+	if n == 1 {
+		dst[0] = 0
+		return
 	}
-	for k := n; k < p.m; k++ {
-		p.buf[k] = 0
+	p.vbuf[0] = 0
+	for k := 1; k <= m; k++ {
+		p.vbuf[k] = t.phaseI[k] * complex(src[n-k], -src[k])
 	}
-	for i := range p.buf {
-		p.buf[i] = cmplx.Conj(p.buf[i])
-	}
-	p.fft(p.buf)
-	for j := 0; j < n; j++ {
-		dst[j] = -imag(p.buf[j]) // Im(z) where buf holds conj of the sum
+	p.dct3core(dst)
+	for j := 1; j < n; j += 2 {
+		dst[j] = -dst[j]
 	}
 }
 
@@ -207,8 +311,8 @@ func (p *Plan) DST3M(dst, src []float64) {
 // 2-D trigonometric transforms (rows of length nx, columns of length ny).
 // Parallelize spreads the independent 1-D transforms over a worker pool;
 // because every row (and column) is transformed start-to-end by one worker
-// using identical twiddle tables, the output is bit-identical to the serial
-// transform at every pool size.
+// using the same shared twiddle tables, the output is bit-identical to the
+// serial transform at every pool size.
 type Grid2D struct {
 	NX, NY int
 	px, py *Plan
@@ -221,8 +325,8 @@ type Grid2D struct {
 }
 
 // gridWorker is one worker's private plans and scratch. Plans carry mutable
-// scratch (buf), so concurrent rows need one plan each; the twiddle tables
-// are recomputed from the same closed formulas and are therefore identical.
+// scratch (buf), so concurrent rows need one plan each; the plans are clones
+// of the grid's own, sharing one set of immutable tables.
 type gridWorker struct {
 	px, py *Plan
 	colIn  []float64
@@ -254,8 +358,8 @@ func (g *Grid2D) Parallelize(p *parallel.Pool) {
 	g.workers = make([]*gridWorker, p.Workers())
 	for i := range g.workers {
 		g.workers[i] = &gridWorker{
-			px:     NewPlan(g.NX),
-			py:     NewPlan(g.NY),
+			px:     g.px.Clone(),
+			py:     g.py.Clone(),
 			colIn:  make([]float64, g.NY),
 			colOut: make([]float64, g.NY),
 			rowOut: make([]float64, g.NX),

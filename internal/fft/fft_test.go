@@ -6,7 +6,17 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"qplacer/internal/parallel"
 )
+
+// newTestPool builds a worker pool released when the test ends.
+func newTestPool(t *testing.T, workers int) *parallel.Pool {
+	t.Helper()
+	p := parallel.New(workers)
+	t.Cleanup(p.Close)
+	return p
+}
 
 // naiveDFT is the O(n²) reference DFT.
 func naiveDFT(x []complex128) []complex128 {
@@ -103,9 +113,9 @@ func TestIsPow2AndNextPow2(t *testing.T) {
 
 func TestFFTMatchesNaiveDFT(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	for _, n := range []int{1, 2, 4, 8, 32} {
+	for _, n := range []int{2, 4, 8, 32, 64} {
 		p := NewPlan(n)
-		a := make([]complex128, 2*n)
+		a := make([]complex128, p.ComplexLen())
 		for i := range a {
 			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
 		}
@@ -121,10 +131,10 @@ func TestFFTMatchesNaiveDFT(t *testing.T) {
 
 func TestIFFTInvertsFFT(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	for _, n := range []int{1, 4, 16, 64} {
+	for _, n := range []int{2, 4, 16, 64} {
 		p := NewPlan(n)
-		a := make([]complex128, 2*n)
-		orig := make([]complex128, 2*n)
+		a := make([]complex128, p.ComplexLen())
+		orig := make([]complex128, p.ComplexLen())
 		for i := range a {
 			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
 			orig[i] = a[i]
@@ -310,9 +320,9 @@ func TestGrid2DSynthesisMatchesDirect(t *testing.T) {
 func TestQuickFFTParseval(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		n := 8
+		n := 16
 		p := NewPlan(n)
-		a := make([]complex128, 2*n)
+		a := make([]complex128, p.ComplexLen())
 		var eIn float64
 		for i := range a {
 			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
@@ -323,7 +333,7 @@ func TestQuickFFTParseval(t *testing.T) {
 		for i := range a {
 			eOut += real(a[i])*real(a[i]) + imag(a[i])*imag(a[i])
 		}
-		return math.Abs(eOut-float64(2*n)*eIn) < 1e-6*(1+eIn)
+		return math.Abs(eOut-float64(p.ComplexLen())*eIn) < 1e-6*(1+eIn)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
@@ -354,6 +364,50 @@ func TestQuickDCT2Constant(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCloneSharesTables pins the allocation contract behind
+// Grid2D.Parallelize: a clone reuses the original's immutable tables (one
+// set of twiddle/phase/permutation arrays per size, however many workers)
+// while carrying private scratch, and produces bit-identical transforms.
+func TestCloneSharesTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	p := NewPlan(64)
+	c := p.Clone()
+	if c.tab != p.tab {
+		t.Fatal("Clone did not share the immutable tables")
+	}
+	if &c.buf[0] == &p.buf[0] || &c.vbuf[0] == &p.vbuf[0] {
+		t.Fatal("Clone shared mutable scratch")
+	}
+	x := randReal(64, rng)
+	want := make([]float64, 64)
+	got := make([]float64, 64)
+	for _, tr := range []func(p *Plan, dst, src []float64){dct2T, dct3T, dst3mT} {
+		tr(p, want, x)
+		tr(c, got, x)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("clone transform diverged at %d: %v != %v (bitwise)", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGrid2DWorkersShareTables checks Parallelize builds its per-worker
+// plans as clones: every worker's row/column plans alias the grid's tables.
+func TestGrid2DWorkersShareTables(t *testing.T) {
+	g := NewGrid2D(16, 8)
+	pool := newTestPool(t, 3)
+	g.Parallelize(pool)
+	if len(g.workers) != 3 {
+		t.Fatalf("expected 3 workers, got %d", len(g.workers))
+	}
+	for i, gw := range g.workers {
+		if gw.px.tab != g.px.tab || gw.py.tab != g.py.tab {
+			t.Fatalf("worker %d recomputed tables instead of sharing", i)
+		}
 	}
 }
 

@@ -58,6 +58,14 @@ type Config struct {
 	// runs serial.
 	Workers int
 
+	// Cutoffs overrides the adaptive-granularity thresholds below which the
+	// parallel scans run serial (fan-out dispatch costs more than it saves
+	// on small problems). nil auto-calibrates once per process
+	// (parallel.AutoCutoffs); the zero value always fans out. Gating only
+	// selects between bit-identical implementations, so results never
+	// depend on the cutoffs.
+	Cutoffs *parallel.Cutoffs
+
 	// Span, when non-nil, receives the per-pass timing breakdown:
 	// LegalizeCtx records setup (the partner map) plus one child per
 	// Algorithm-1 pass, RowScanCtx records setup and the shelf scan.
@@ -119,7 +127,8 @@ type legalizer struct {
 	cell    float64
 	buckets map[[2]int][]int // bucket coord → placed indices
 
-	pool *parallel.Pool // bounds the independent scans; nil runs serial
+	pool *parallel.Pool   // bounds the independent scans; nil runs serial
+	cut  parallel.Cutoffs // adaptive-granularity thresholds for the scans
 
 	stats *Result // live statistics sink
 }
@@ -151,9 +160,24 @@ func guardedApart(a, b geom.Point, guard float64) bool {
 }
 
 func (lg *legalizer) setup() {
-	lg.partners = buildPartners(lg.nl, lg.deltaC, lg.pool)
+	n := len(lg.nl.Instances)
+	lg.partners = buildPartners(lg.nl, lg.deltaC,
+		parallel.Gate(lg.pool, n*n, lg.cut.ScanCells))
 	lg.cell = 1.0
 	lg.buckets = make(map[[2]int][]int)
+}
+
+// resolveCutoffs maps Config.Cutoffs to the thresholds in effect: explicit
+// when set, auto-calibrated otherwise. A serial run skips calibration — with
+// no pool there is nothing to gate.
+func resolveCutoffs(cfg Config, pool *parallel.Pool) parallel.Cutoffs {
+	if cfg.Cutoffs != nil {
+		return *cfg.Cutoffs
+	}
+	if pool == nil {
+		return parallel.Cutoffs{}
+	}
+	return parallel.AutoCutoffs()
 }
 
 // buildPartners rebuilds the collision map as an adjacency list:
@@ -263,6 +287,7 @@ func LegalizeCtx(ctx context.Context, nl *component.Netlist, region geom.Rect, d
 		pool:   parallel.New(cfg.Workers),
 	}
 	defer lg.pool.Close()
+	lg.cut = resolveCutoffs(cfg, lg.pool)
 	setupTimer := cfg.Span.Child("setup").Start()
 	lg.setup()
 	setupTimer.End()
@@ -480,9 +505,12 @@ func (lg *legalizer) refineQubits(res *Result, anchors []geom.Point) error {
 		sites[i] = lg.nl.Instances[qi].Pos
 	}
 	// Cost rows are independent of each other — the one parallel scan in
-	// this pass; the flow solve itself is sequential.
+	// this pass; the flow solve itself is sequential. The matrix is
+	// len(qubits)² entries of pure arithmetic, so it gates like the other
+	// all-pairs scans.
 	costs := make([][]float64, len(qubits))
-	lg.pool.For(len(qubits), func(_, lo, hi int) {
+	pool := parallel.Gate(lg.pool, len(qubits)*len(qubits), lg.cut.ScanCells)
+	pool.For(len(qubits), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			costs[i] = make([]float64, len(sites))
 			for j, s := range sites {
@@ -649,66 +677,76 @@ func (lg *legalizer) integrate(res *Result) error {
 // pullIn moves segment sid next to the cluster; returns true on success.
 func (lg *legalizer) pullIn(sid int, cluster []int, res *Result) bool {
 	in := lg.nl.Instances[sid]
-	// Candidate anchor: the cluster segment nearest to sid.
-	best := -1
-	bestD := math.Inf(1)
-	for _, cs := range cluster {
-		if d := lg.nl.Instances[cs].Pos.Dist2(in.Pos); d < bestD {
-			bestD = d
-			best = cs
-		}
-	}
-	if best < 0 {
+	if len(cluster) == 0 {
 		return false
 	}
-	anchor := lg.nl.Instances[best].Pos
+	// Candidate anchors: every cluster segment, nearest first, so a congested
+	// neighbourhood around the closest one does not doom the pull while the
+	// far side of the cluster has room. Any anchor keeps contiguity — it is
+	// in the cluster by definition.
+	anchors := append([]int(nil), cluster...)
+	sort.SliceStable(anchors, func(a, b int) bool {
+		return lg.nl.Instances[anchors[a]].Pos.Dist2(in.Pos) <
+			lg.nl.Instances[anchors[b]].Pos.Dist2(in.Pos)
+	})
 	skip := map[int]bool{sid: true}
-	// Free-spot search tightly around the anchor.
+	// Free-spot search tightly around each anchor.
 	base := LegalRect(in)
 	step := base.W() + 0.02
-	for _, off := range []geom.Point{
-		{X: step}, {X: -step}, {Y: step}, {Y: -step},
-		{X: step, Y: step}, {X: -step, Y: step},
-		{X: step, Y: -step}, {X: -step, Y: -step},
-	} {
-		c := anchor.Add(off)
-		r := geom.RectAt(c, base.W(), base.H())
-		if lg.bounds.ContainsRect(r) && !lg.overlapsPlaced(r, skip) && lg.guardOK(in, c) {
-			res.SegmentDisplacement += c.Dist(in.Pos)
-			in.Pos = c
-			lg.fix(sid, LegalRect(in))
-			return true
+	for _, cs := range anchors {
+		anchor := lg.nl.Instances[cs].Pos
+		for _, off := range []geom.Point{
+			{X: step}, {X: -step}, {Y: step}, {Y: -step},
+			{X: step, Y: step}, {X: -step, Y: step},
+			{X: step, Y: -step}, {X: -step, Y: -step},
+		} {
+			c := anchor.Add(off)
+			r := geom.RectAt(c, base.W(), base.H())
+			if lg.bounds.ContainsRect(r) && !lg.overlapsPlaced(r, skip) && lg.guardOK(in, c) {
+				res.SegmentDisplacement += c.Dist(in.Pos)
+				in.Pos = c
+				lg.fix(sid, LegalRect(in))
+				return true
+			}
 		}
 	}
-	// Swap with a foreign segment adjacent to the anchor.
-	for _, other := range lg.nl.Instances {
-		if other.Kind != component.KindSegment || other.Resonator == in.Resonator {
-			continue
+	// Swap with a foreign segment adjacent to any anchor. A swap is accepted
+	// only when it strictly reduces this resonator's cluster count — landing
+	// near an anchor is not enough, the gap must actually close — while the
+	// donor stays in one piece.
+	before := len(lg.clusters(in.Resonator))
+	for _, cs := range anchors {
+		anchor := lg.nl.Instances[cs].Pos
+		for _, other := range lg.nl.Instances {
+			if other.Kind != component.KindSegment || other.Resonator == in.Resonator {
+				continue
+			}
+			if other.Pos.Dist(anchor) > 2*step {
+				continue
+			}
+			// τ check (Algorithm 1, line 12): the foreign segment must stay
+			// detuned from this resonator's neighbourhood after the swap.
+			if frequency.Resonant(other.FreqGHz, in.FreqGHz, lg.deltaC) {
+				continue
+			}
+			// Donor integrity plus isolation: the swap must not fragment the
+			// other resonator, and both segments must stay clear of their
+			// near-resonant partners at their new homes.
+			oldA, oldB := in.Pos, other.Pos
+			in.Pos, other.Pos = oldB, oldA
+			lg.fix(sid, LegalRect(in))
+			lg.fix(other.ID, LegalRect(other))
+			if len(lg.clusters(other.Resonator)) == 1 &&
+				len(lg.clusters(in.Resonator)) <= before &&
+				lg.guardOK(in, in.Pos) && lg.guardOK(other, other.Pos) {
+				res.SegmentDisplacement += oldA.Dist(oldB) * 2
+				return true
+			}
+			// Revert.
+			in.Pos, other.Pos = oldA, oldB
+			lg.fix(sid, LegalRect(in))
+			lg.fix(other.ID, LegalRect(other))
 		}
-		if other.Pos.Dist(anchor) > 2*step {
-			continue
-		}
-		// τ check (Algorithm 1, line 12): the foreign segment must stay
-		// detuned from this resonator's neighbourhood after the swap.
-		if frequency.Resonant(other.FreqGHz, in.FreqGHz, lg.deltaC) {
-			continue
-		}
-		// Donor integrity plus isolation: the swap must not fragment the
-		// other resonator, and both segments must stay clear of their
-		// near-resonant partners at their new homes.
-		oldA, oldB := in.Pos, other.Pos
-		in.Pos, other.Pos = oldB, oldA
-		lg.fix(sid, LegalRect(in))
-		lg.fix(other.ID, LegalRect(other))
-		if len(lg.clusters(other.Resonator)) == 1 &&
-			lg.guardOK(in, in.Pos) && lg.guardOK(other, other.Pos) {
-			res.SegmentDisplacement += oldA.Dist(oldB) * 2
-			return true
-		}
-		// Revert.
-		in.Pos, other.Pos = oldA, oldB
-		lg.fix(sid, LegalRect(in))
-		lg.fix(other.ID, LegalRect(other))
 	}
 	return false
 }

@@ -45,7 +45,9 @@ func RowScanCtx(ctx context.Context, nl *component.Netlist, region geom.Rect, de
 		// packing itself is a sequential sweep by construction.
 		setupTimer := cfg.Span.Child("setup").Start()
 		pool := parallel.New(cfg.Workers)
-		partners = buildPartners(nl, deltaC, pool)
+		n := len(nl.Instances)
+		partners = buildPartners(nl, deltaC,
+			parallel.Gate(pool, n*n, resolveCutoffs(cfg, pool).ScanCells))
 		cfg.Span.SetWorkers(pool.WorkerBusy())
 		pool.Close()
 		setupTimer.End()

@@ -45,6 +45,7 @@ type Span struct {
 	order    []*Span
 	children map[string]*Span
 	workers  []time.Duration
+	notes    []string
 }
 
 // NewSpan returns a root span with CPU sampling enabled.
@@ -151,6 +152,24 @@ func (s *Span) SetWorkers(busy []time.Duration) {
 	s.mu.Unlock()
 }
 
+// Note attaches a free-form annotation to the span (e.g. "parallelism
+// clamped to 2 CPUs", delta-eval hit rates). Notes ride along in snapshots
+// in insertion order; a duplicate of an already recorded note is dropped, so
+// re-running a stage does not repeat its annotations. Safe on nil.
+func (s *Span) Note(msg string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, have := range s.notes {
+		if have == msg {
+			return
+		}
+	}
+	s.notes = append(s.notes, msg)
+}
+
 // Node is an exported snapshot of one span. Children preserve first-use
 // order, which is deterministic for a fixed option set.
 type Node struct {
@@ -159,6 +178,7 @@ type Node struct {
 	Wall     time.Duration
 	CPU      time.Duration
 	Workers  []time.Duration
+	Notes    []string
 	Children []*Node
 }
 
@@ -178,6 +198,10 @@ func (s *Span) Snapshot() *Node {
 	if len(s.workers) > 0 {
 		n.Workers = make([]time.Duration, len(s.workers))
 		copy(n.Workers, s.workers)
+	}
+	if len(s.notes) > 0 {
+		n.Notes = make([]string, len(s.notes))
+		copy(n.Notes, s.notes)
 	}
 	kids := make([]*Span, len(s.order))
 	copy(kids, s.order)

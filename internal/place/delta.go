@@ -1,0 +1,256 @@
+package place
+
+import "math"
+
+// This file implements the incremental (delta) gradient evaluation enabled
+// by Config.DeltaEval. Two independent mechanisms reuse work across Nesterov
+// iterations, both exact by construction so placements stay bit-identical to
+// a full recompute:
+//
+//   - evalMemo caches the two most recent full component evaluations keyed
+//     by the exact bit pattern of the position vector. The Nesterov flow
+//     re-evaluates the accepted lookahead point at the start of the next
+//     step (the placer invalidates the optimizer's cached gradient after
+//     re-weighting), so in steady state about one evaluation in three is a
+//     verbatim repeat. Component gradients depend only on positions — the
+//     penalty weights are applied later in the combine — so a bitwise-equal
+//     input implies bitwise-equal outputs and the memo can replay them.
+//
+//   - verlet maintains, per pair family, the classic Verlet active list: the
+//     pairs within reach = rcut + margin of each other at the last rebuild.
+//     While no instance has moved more than margin/2 since then, every
+//     excluded pair provably still satisfies d > rcut and contributes
+//     exactly nothing (the serial kernel's early-out), so evaluating only
+//     the active pairs — in ascending pair order, the serial visit order —
+//     reproduces the full scan bit for bit. The displacement check is the
+//     exact-recompute guard: the moment it fails, the list is rebuilt from
+//     the current positions.
+
+// evalSlot is one cached evaluation: the input positions and every output
+// evalComponents produces (component gradients, penalty values, overflow).
+type evalSlot struct {
+	used  bool
+	stamp int64
+
+	xy                                             []float64
+	gradWL, gradD, gradFQ, gradFS, gradWall, gradC []float64
+	wl, dEnergy, fq, fs, cPot, overflow            float64
+}
+
+// evalMemo is a two-slot LRU of component evaluations. Two slots cover the
+// optimizer's repeat pattern (the accepted lookahead point and the major
+// point alternate); a deeper cache would only hold stale vectors.
+type evalMemo struct {
+	slots        [2]evalSlot
+	clock        int64
+	hits, misses int
+}
+
+// bitsEqual reports whether two vectors are identical down to the bit
+// (Float64bits, not ==: a +0/−0 flip changes downstream bits, and NaN must
+// never compare equal to itself here either way).
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup replays a cached evaluation for xy into the engine's gradient
+// scratch, if one exists.
+func (m *evalMemo) lookup(e *engine, xy []float64) (wl, dEnergy, fq, fs, cPot float64, ok bool) {
+	for s := range m.slots {
+		sl := &m.slots[s]
+		if !sl.used || !bitsEqual(sl.xy, xy) {
+			continue
+		}
+		m.clock++
+		sl.stamp = m.clock
+		m.hits++
+		copy(e.gradWL, sl.gradWL)
+		copy(e.gradD, sl.gradD)
+		copy(e.gradFQ, sl.gradFQ)
+		copy(e.gradFS, sl.gradFS)
+		copy(e.gradWall, sl.gradWall)
+		copy(e.gradC, sl.gradC)
+		e.overflow = sl.overflow
+		return sl.wl, sl.dEnergy, sl.fq, sl.fs, sl.cPot, true
+	}
+	m.misses++
+	return 0, 0, 0, 0, 0, false
+}
+
+// store captures the evaluation just computed for xy, evicting the
+// least-recently-used slot.
+func (m *evalMemo) store(e *engine, xy []float64, wl, dEnergy, fq, fs, cPot float64) {
+	sl := &m.slots[0]
+	if m.slots[0].used && (!m.slots[1].used || m.slots[1].stamp < m.slots[0].stamp) {
+		sl = &m.slots[1]
+	}
+	m.clock++
+	sl.used = true
+	sl.stamp = m.clock
+	sl.xy = append(sl.xy[:0], xy...)
+	sl.gradWL = append(sl.gradWL[:0], e.gradWL...)
+	sl.gradD = append(sl.gradD[:0], e.gradD...)
+	sl.gradFQ = append(sl.gradFQ[:0], e.gradFQ...)
+	sl.gradFS = append(sl.gradFS[:0], e.gradFS...)
+	sl.gradWall = append(sl.gradWall[:0], e.gradWall...)
+	sl.gradC = append(sl.gradC[:0], e.gradC...)
+	sl.wl, sl.dEnergy, sl.fq, sl.fs, sl.cPot = wl, dEnergy, fq, fs, cPot
+	sl.overflow = e.overflow
+}
+
+// verlet is one pair family's active-list state.
+type verlet struct {
+	pairs  [][2]int
+	rcut   float64
+	margin float64
+	n      int
+
+	refXY  []float64 // positions at the last rebuild
+	active []int32   // ascending pair indices within rcut+margin at rebuild
+
+	// Filtered owner-computes incidence over the active pairs, allocated
+	// only when the engine owns a worker pool. Rebuilt alongside active into
+	// these fixed full-capacity buffers.
+	inc    incidenceCSR
+	fill   []int32
+	hasInc bool
+
+	evals, rebuilds int
+	activeSum       int64
+}
+
+// newVerlet returns the active-list state for one family, or nil when the
+// family is empty (no list to maintain, and the caller's full-scan path is
+// already free).
+func newVerlet(n int, pairs [][2]int, rcut float64, withInc bool) *verlet {
+	if len(pairs) == 0 {
+		return nil
+	}
+	v := &verlet{
+		pairs:  pairs,
+		rcut:   rcut,
+		margin: rcut / 2,
+		n:      n,
+		active: make([]int32, 0, len(pairs)),
+	}
+	if withInc {
+		v.inc = incidenceCSR{
+			start:      make([]int32, n+1),
+			other:      make([]int32, 2*len(pairs)),
+			contribIdx: make([]int32, 2*len(pairs)),
+		}
+		v.fill = make([]int32, n)
+		v.hasInc = true
+	}
+	return v
+}
+
+// ensure refreshes the active list when positions have drifted past the
+// guard. While 2·maxDisp < margin, a pair excluded at rebuild (distance
+// ≥ rcut + margin then) still has distance > rcut now, so the active list
+// remains exact.
+func (v *verlet) ensure(xy []float64) {
+	v.evals++
+	if v.refXY == nil {
+		v.refXY = make([]float64, len(xy))
+		v.rebuild(xy)
+	} else {
+		var maxD2 float64
+		for i := 0; i < len(xy); i += 2 {
+			dx := xy[i] - v.refXY[i]
+			dy := xy[i+1] - v.refXY[i+1]
+			if d2 := dx*dx + dy*dy; d2 > maxD2 {
+				maxD2 = d2
+			}
+		}
+		if 4*maxD2 >= v.margin*v.margin {
+			v.rebuild(xy)
+		}
+	}
+	v.activeSum += int64(len(v.active))
+}
+
+func (v *verlet) rebuild(xy []float64) {
+	v.rebuilds++
+	copy(v.refXY, xy)
+	reach := v.rcut + v.margin
+	r2 := reach * reach
+	v.active = v.active[:0]
+	for k, p := range v.pairs {
+		dx := xy[2*p[0]] - xy[2*p[1]]
+		dy := xy[2*p[0]+1] - xy[2*p[1]+1]
+		if dx*dx+dy*dy < r2 {
+			v.active = append(v.active, int32(k))
+		}
+	}
+	if v.hasInc {
+		v.rebuildInc()
+	}
+}
+
+// rebuildInc refilters the CSR incidence to the active pairs. Iterating the
+// active list in ascending pair order keeps each instance's half-edges in
+// the serial visit order, which the owner-computes kernel's bit-identity
+// argument requires.
+func (v *verlet) rebuildInc() {
+	start := v.inc.start
+	for i := range start {
+		start[i] = 0
+	}
+	for _, k := range v.active {
+		p := v.pairs[k]
+		start[p[0]+1]++
+		start[p[1]+1]++
+	}
+	for i := 0; i < v.n; i++ {
+		start[i+1] += start[i]
+	}
+	copy(v.fill, start[:v.n])
+	for _, k := range v.active {
+		p := v.pairs[k]
+		a, b := p[0], p[1]
+		v.inc.other[v.fill[a]] = int32(b)
+		v.inc.contribIdx[v.fill[a]] = k
+		v.fill[a]++
+		v.inc.other[v.fill[b]] = int32(a)
+		v.inc.contribIdx[v.fill[b]] = -1
+		v.fill[b]++
+	}
+}
+
+// pairRepulsionActive is the serial pair kernel restricted to an active
+// list: identical arithmetic to pairRepulsion, visiting only the listed
+// pairs in ascending order. Skipped pairs would contribute exactly nothing
+// (they are beyond rcut by the verlet guarantee), so the scatter and the
+// running potential sum keep their full-scan bits.
+func pairRepulsionActive(xy []float64, pairs [][2]int, active []int32, grad []float64, rcut float64) float64 {
+	var total float64
+	r2 := rcut * rcut
+	r3 := r2 * rcut
+	for _, k := range active {
+		p := pairs[k]
+		i, j := p[0], p[1]
+		dx := xy[2*i] - xy[2*j]
+		dy := xy[2*i+1] - xy[2*j+1]
+		d2 := dx*dx + dy*dy
+		if d2 >= r2 {
+			continue
+		}
+		gap := r2 - d2
+		total += gap * gap / r3
+		scale := 4 * gap / r3
+		grad[2*i] -= scale * dx
+		grad[2*i+1] -= scale * dy
+		grad[2*j] += scale * dx
+		grad[2*j+1] += scale * dy
+	}
+	return total
+}

@@ -96,6 +96,24 @@ type Config struct {
 	// knob trades wall-clock for cores, never results.
 	Workers int
 
+	// Cutoffs gates each parallel stage by problem size: stages below their
+	// cutoff run serially, so small problems stop paying fork-join dispatch
+	// overhead that exceeds the parallel saving. nil auto-calibrates once
+	// per process (parallel.AutoCutoffs); a pointer to the zero value
+	// disables gating (every stage always fans out, the pre-adaptive
+	// behaviour). Gating selects between bit-identical implementations, so
+	// it never changes results. Ignored when Workers <= 1.
+	Cutoffs *parallel.Cutoffs
+
+	// DeltaEval enables incremental gradient evaluation across Nesterov
+	// iterations: bitwise-repeated position vectors replay their cached
+	// component gradients, and the pair-repulsion kernels keep Verlet active
+	// lists so far-apart pairs are not re-scanned every iteration. Both
+	// mechanisms carry exact-recompute guards (bit-pattern equality, a
+	// displacement bound), so placements are bit-identical with or without
+	// it — and at every worker count either way.
+	DeltaEval bool
+
 	// Trace, when non-nil, receives per-iteration diagnostics. Enabling it
 	// costs an extra gradient evaluation per iteration.
 	Trace func(TraceEvent)
@@ -216,6 +234,18 @@ type engine struct {
 	pairContrib      []float64
 	rasterLo         []int32 // per-instance clamped bin-row span, refreshed
 	rasterHi         []int32 // each densityGrad so workers skip cheaply
+
+	// Adaptive granularity: per-stage gated views of pool (nil = run that
+	// stage serially because its problem size is below the cutoff). The
+	// pair kernels gate dynamically per call instead, since delta eval
+	// shrinks their live problem size between rebuilds.
+	cut                           parallel.Cutoffs
+	poolWL, poolRaster, poolPoint *parallel.Pool
+	poolSolve                     *parallel.Pool
+
+	// Delta evaluation (nil/disabled unless cfg.DeltaEval).
+	memo          *evalMemo
+	vlQ, vlS, vlC *verlet
 
 	// Aggregating trace sub-spans of cfg.Span (all nil when untraced).
 	spWL, spDen, spRaster, spField *obs.Span
@@ -401,6 +431,7 @@ func PlaceCtx(ctx context.Context, nl *component.Netlist, cm *frequency.Collisio
 	e.clampInto(final)
 	nl.SetPositions(final)
 	cfg.Span.SetWorkers(e.pool.WorkerBusy())
+	e.annotateSpan()
 
 	elapsed := time.Since(start)
 	return &Result{
@@ -435,6 +466,7 @@ func newEngine(nl *component.Netlist, cm *frequency.CollisionMap, cfg Config) *e
 	e.setupChainPairs()
 	e.splitCollisionPairs()
 	e.setupParallel()
+	e.setupDelta()
 	return e
 }
 
@@ -567,8 +599,18 @@ func (e *engine) setupParallel() {
 	if e.pool == nil {
 		return
 	}
-	e.solver.Parallelize(e.pool)
+	if e.cfg.Cutoffs != nil {
+		e.cut = *e.cfg.Cutoffs
+	} else {
+		e.cut = parallel.AutoCutoffs()
+	}
 	n := len(e.nl.Instances)
+	cells := e.solver.NX * e.solver.NY
+	e.poolWL = parallel.Gate(e.pool, n, e.cut.WirelengthItems)
+	e.poolRaster = parallel.Gate(e.pool, cells, e.cut.RasterCells)
+	e.poolPoint = parallel.Gate(e.pool, n, e.cut.PointItems)
+	e.poolSolve = parallel.Gate(e.pool, cells, e.cut.SolveCells)
+	e.solver.Parallelize(e.poolSolve)
 	e.instNets = incidence(n, e.nl.Nets)
 	e.incQ = buildIncidence(n, e.qubitPairs)
 	e.incS = buildIncidence(n, e.segPairs)
@@ -584,6 +626,54 @@ func (e *engine) setupParallel() {
 	e.pairContrib = make([]float64, maxPairs)
 	e.rasterLo = make([]int32, n)
 	e.rasterHi = make([]int32, n)
+}
+
+// setupDelta builds the delta-evaluation state: the two-slot evaluation memo
+// and one Verlet active list per pair family. The filtered owner-computes
+// incidence buffers are only allocated when a pool exists to use them.
+func (e *engine) setupDelta() {
+	if !e.cfg.DeltaEval {
+		return
+	}
+	n := len(e.nl.Instances)
+	e.memo = &evalMemo{}
+	withInc := e.pool != nil
+	e.vlQ = newVerlet(n, e.qubitPairs, e.cfg.FreqCutoffMM, withInc)
+	e.vlS = newVerlet(n, e.segPairs, e.cfg.FreqCutoffSegMM, withInc)
+	e.vlC = newVerlet(n, e.chainPairs, e.chainR0, withInc)
+}
+
+// annotateSpan records the run's delta-eval and granularity outcomes on the
+// trace span, making the optimization visible in the exported timings.
+func (e *engine) annotateSpan() {
+	sp := e.cfg.Span
+	if sp == nil {
+		return
+	}
+	if e.memo != nil {
+		total := e.memo.hits + e.memo.misses
+		sp.Note(fmt.Sprintf("delta-eval: %d/%d gradient evaluations replayed from memo", e.memo.hits, total))
+	}
+	for _, f := range []struct {
+		name string
+		vl   *verlet
+	}{{"qubit", e.vlQ}, {"seg", e.vlS}, {"chain", e.vlC}} {
+		if f.vl == nil || f.vl.evals == 0 {
+			continue
+		}
+		sp.Note(fmt.Sprintf("verlet %s pairs: %d total, %d active on average, %d rebuilds over %d evaluations",
+			f.name, len(f.vl.pairs), f.vl.activeSum/int64(f.vl.evals), f.vl.rebuilds, f.vl.evals))
+	}
+	if e.pool != nil {
+		mode := func(p *parallel.Pool) string {
+			if p == nil {
+				return "serial"
+			}
+			return "parallel"
+		}
+		sp.Note(fmt.Sprintf("adaptive granularity: wirelength=%s raster=%s points=%s solve=%s",
+			mode(e.poolWL), mode(e.poolRaster), mode(e.poolPoint), mode(e.poolSolve)))
+	}
 }
 
 // incidence inverts an edge list into per-instance lists of incident edge
@@ -615,23 +705,55 @@ func incidence(n int, edges [][2]int) [][]int32 {
 func (e *engine) chainGrad(xy []float64) float64 {
 	chainTimer := e.spChain.Start()
 	defer chainTimer.End()
-	if e.pool != nil {
-		return e.pairRepulsionOwner(xy, len(e.chainPairs), e.incC, e.gradC, e.chainR0)
+	return e.pairForce(xy, e.chainPairs, e.incC, e.vlC, e.gradC, e.chainR0)
+}
+
+// pairForce evaluates one pair family into grad, selecting the evaluation
+// strategy: the Verlet active list when delta eval is on, then the
+// owner-computes fan-out when the live pair count clears the adaptive
+// cutoff, and the serial scatter otherwise. Every combination produces the
+// same bits (the active list is exact, and the owner-computes kernel
+// reproduces the serial accumulation order).
+func (e *engine) pairForce(xy []float64, pairs [][2]int, inc incidenceCSR, vl *verlet, grad []float64, rcut float64) float64 {
+	items := len(pairs)
+	var active []int32
+	if vl != nil {
+		vl.ensure(xy)
+		active = vl.active
+		items = len(active)
+		inc = vl.inc
 	}
-	for i := range e.gradC {
-		e.gradC[i] = 0
+	if p := parallel.Gate(e.pool, items, e.cut.PairItems); p != nil {
+		return e.pairRepulsionOwner(p, xy, len(pairs), inc, active, grad, rcut)
 	}
-	return pairRepulsion(xy, e.chainPairs, e.gradC, e.chainR0)
+	for i := range grad {
+		grad[i] = 0
+	}
+	if vl != nil {
+		return pairRepulsionActive(xy, pairs, active, grad, rcut)
+	}
+	return pairRepulsion(xy, pairs, grad, rcut)
 }
 
 // evalComponents fills the component gradients for the positions xy and
-// refreshes the density overflow. It returns the penalty values.
+// refreshes the density overflow. It returns the penalty values. With delta
+// evaluation on, a bitwise repeat of a recently evaluated position vector is
+// replayed from the memo instead of recomputed (the outputs depend only on
+// xy — penalty weights enter later, in the combine — so the replay is exact).
 func (e *engine) evalComponents(xy []float64) (wl, dEnergy, fq, fs, cPot float64) {
+	if e.memo != nil {
+		if wl, dEnergy, fq, fs, cPot, ok := e.memo.lookup(e, xy); ok {
+			return wl, dEnergy, fq, fs, cPot
+		}
+	}
 	wl = e.wirelengthGrad(xy)
 	dEnergy = e.densityGrad(xy)
 	fq, fs = e.frequencyGrad(xy)
 	cPot = e.chainGrad(xy)
 	e.wallGrad(xy)
+	if e.memo != nil {
+		e.memo.store(e, xy, wl, dEnergy, fq, fs, cPot)
+	}
 	return wl, dEnergy, fq, fs, cPot
 }
 
@@ -641,7 +763,7 @@ func (e *engine) gradient(xy []float64, grad []float64) float64 {
 	wl, dEnergy, fq, fs, cPot := e.evalComponents(xy)
 	combineTimer := e.spCombine.Start()
 	defer combineTimer.End()
-	e.pool.For(len(grad), func(_, lo, hi int) {
+	e.poolPoint.For(len(grad), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			grad[i] = e.gradWL[i] + e.lambda*e.gradD[i] +
 				e.lambdaFQ*e.gradFQ[i] + e.lambdaFS*e.gradFS[i] +
@@ -674,12 +796,12 @@ func (e *engine) wirelengthGrad(xy []float64) float64 {
 	wlTimer := e.spWL.Start()
 	defer wlTimer.End()
 	g2 := e.gamma * e.gamma
-	if e.pool != nil {
+	if e.poolWL != nil {
 		// Owner-computes fan-out: each worker folds its instances' incident
 		// nets (ascending net index, the serial visit order) into their two
 		// coordinates; per-net length terms land in netContrib (written by
 		// the first endpoint's owner) and reduce in serial net order.
-		e.pool.For(len(e.nl.Instances), func(_, lo, hi int) {
+		e.poolWL.For(len(e.nl.Instances), func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				var gx, gy float64
 				for _, k := range e.instNets[i] {
@@ -748,8 +870,8 @@ func (e *engine) densityGrad(xy []float64) float64 {
 	// When parallel, a per-instance prefilter pins each instance's clamped
 	// row span first, so the per-band sweeps skip non-overlapping instances
 	// with two int compares instead of redoing the bbox float math W times.
-	if e.pool != nil {
-		e.pool.For(len(e.nl.Instances), func(_, lo, hi int) {
+	if e.poolRaster != nil {
+		e.poolRaster.For(len(e.nl.Instances), func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				cy := xy[2*i+1]
 				sh := math.Max(e.chargeH[i], s.HY)
@@ -767,12 +889,12 @@ func (e *engine) densityGrad(xy []float64) float64 {
 			}
 		})
 	}
-	e.pool.For(ny, func(_, rowLo, rowHi int) {
+	e.poolRaster.For(ny, func(_, rowLo, rowHi int) {
 		for i := rowLo * nx; i < rowHi*nx; i++ {
 			s.Density[i] = 0
 		}
 		for i := range e.nl.Instances {
-			if e.pool != nil && (int(e.rasterLo[i]) >= rowHi || int(e.rasterHi[i]) <= rowLo) {
+			if e.poolRaster != nil && (int(e.rasterLo[i]) >= rowHi || int(e.rasterHi[i]) <= rowLo) {
 				continue
 			}
 			cx, cy := xy[2*i], xy[2*i+1]
@@ -834,7 +956,7 @@ func (e *engine) densityGrad(xy []float64) float64 {
 	// Field sampling writes each instance's own two coordinates from the
 	// read-only solved fields — embarrassingly parallel.
 	fieldTimer := e.spField.Start()
-	e.pool.For(len(e.nl.Instances), func(_, lo, hi int) {
+	e.poolPoint.For(len(e.nl.Instances), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			q := e.chargeW[i] * e.chargeH[i]
 			cx, cy := xy[2*i], xy[2*i+1]
@@ -910,12 +1032,15 @@ func pairRepulsion(xy []float64, pairs [][2]int, grad []float64, rcut float64) f
 // Per-pair potential terms land in e.pairContrib (written by the owner of
 // the pair's first instance, contribIdx >= 0) and reduce to the total in
 // serial pair order; out-of-range pairs record an exact 0, which leaves the
-// running float sum untouched.
-func (e *engine) pairRepulsionOwner(xy []float64, numPairs int, inc incidenceCSR, grad []float64, rcut float64) float64 {
+// running float sum untouched. With a Verlet active list, inc is the
+// filtered incidence and active lists the live pair indices to reduce over
+// (skipped pairs would contribute exactly 0); active == nil reduces over
+// every pair.
+func (e *engine) pairRepulsionOwner(p *parallel.Pool, xy []float64, numPairs int, inc incidenceCSR, active []int32, grad []float64, rcut float64) float64 {
 	r2 := rcut * rcut
 	r3 := r2 * rcut
 	contrib := e.pairContrib[:numPairs]
-	e.pool.For(len(grad)/2, func(_, lo, hi int) {
+	p.For(len(grad)/2, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var gx, gy float64
 			xi, yi := xy[2*i], xy[2*i+1]
@@ -944,8 +1069,14 @@ func (e *engine) pairRepulsionOwner(xy []float64, numPairs int, inc incidenceCSR
 	})
 	reduceTimer := e.spReduce.Start()
 	var total float64
-	for _, c := range contrib {
-		total += c
+	if active != nil {
+		for _, k := range active {
+			total += contrib[k]
+		}
+	} else {
+		for _, c := range contrib {
+			total += c
+		}
 	}
 	reduceTimer.End()
 	return total
@@ -963,17 +1094,8 @@ func (e *engine) frequencyGrad(xy []float64) (fq, fs float64) {
 		}
 		return 0, 0
 	}
-	if e.pool != nil {
-		fq = e.pairRepulsionOwner(xy, len(e.qubitPairs), e.incQ, e.gradFQ, e.cfg.FreqCutoffMM)
-		fs = e.pairRepulsionOwner(xy, len(e.segPairs), e.incS, e.gradFS, e.cfg.FreqCutoffSegMM)
-		return fq, fs
-	}
-	for i := range e.gradFQ {
-		e.gradFQ[i] = 0
-		e.gradFS[i] = 0
-	}
-	fq = pairRepulsion(xy, e.qubitPairs, e.gradFQ, e.cfg.FreqCutoffMM)
-	fs = pairRepulsion(xy, e.segPairs, e.gradFS, e.cfg.FreqCutoffSegMM)
+	fq = e.pairForce(xy, e.qubitPairs, e.incQ, e.vlQ, e.gradFQ, e.cfg.FreqCutoffMM)
+	fs = e.pairForce(xy, e.segPairs, e.incS, e.vlS, e.gradFS, e.cfg.FreqCutoffSegMM)
 	return fq, fs
 }
 
@@ -984,7 +1106,7 @@ func (e *engine) wallGrad(xy []float64) {
 	wallTimer := e.spWall.Start()
 	defer wallTimer.End()
 	r := e.region
-	e.pool.For(len(e.nl.Instances), func(_, lo, hi int) {
+	e.poolPoint.For(len(e.nl.Instances), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			e.gradWall[2*i] = 0
 			e.gradWall[2*i+1] = 0

@@ -138,6 +138,8 @@ type settings struct {
 	opts        Options
 	workers     int
 	parallelism int
+	adaptive    bool
+	deltaEval   bool
 	observer    Observer
 	validation  ValidationMode
 	tracing     bool
@@ -147,6 +149,8 @@ func defaultSettings() settings {
 	return settings{
 		workers:     runtime.GOMAXPROCS(0),
 		parallelism: runtime.GOMAXPROCS(0),
+		adaptive:    true,
+		deltaEval:   true,
 		tracing:     true,
 	}
 }
@@ -253,7 +257,10 @@ func WithWorkers(n int) Option {
 // out on — the per-iteration gradient components (wirelength, density bins
 // and the spectral Poisson solve, frequency and chain pair repulsion) and
 // the legalizers' independent scans. The default is GOMAXPROCS; 1 restores
-// the serial path; n <= 0 resets to the default.
+// the serial path; n <= 0 resets to the default. A request above GOMAXPROCS
+// is clamped at plan time — oversubscribing the scheduler only adds context
+// switches to a CPU-bound hot path — and the clamp is noted on the plan's
+// root timing span.
 //
 // Parallelism never changes results: work is statically partitioned and
 // accumulated owner-computes, so placements are bit-identical at every
@@ -261,6 +268,10 @@ func WithWorkers(n int) Option {
 // enters the plan-cache key — plans computed at different parallelism are
 // interchangeable cache hits. As an engine option it applies to every plan;
 // as a per-call option to that call only.
+//
+// Each parallel stage additionally falls back to its serial kernel when the
+// stage's problem size is below an auto-calibrated cutoff — fan-out dispatch
+// costs more than it saves on small problems. See WithAdaptiveGranularity.
 func WithParallelism(n int) Option {
 	return func(s *settings) {
 		if n > 0 {
@@ -269,4 +280,25 @@ func WithParallelism(n int) Option {
 			s.parallelism = runtime.GOMAXPROCS(0)
 		}
 	}
+}
+
+// WithAdaptiveGranularity toggles the per-stage serial fallback (default
+// on): each parallelizable stage compares its problem size against a cutoff
+// calibrated once per process from the measured pool dispatch overhead, and
+// runs its serial kernel below it. Disabling forces every stage to fan out
+// whenever parallelism > 1 — useful for scheduler experiments, never for
+// results: gating only selects between bit-identical implementations, so
+// like parallelism it is not part of the plan-cache key.
+func WithAdaptiveGranularity(enabled bool) Option {
+	return func(s *settings) { s.adaptive = enabled }
+}
+
+// WithDeltaEval toggles incremental gradient evaluation across placement
+// iterations (default on): verbatim re-evaluations replay from a memo keyed
+// on the exact position bits, and the pair-repulsion families keep Verlet
+// active lists refreshed before any excluded pair could contribute. Both
+// mechanisms are exact by construction — placements are bit-identical with
+// the toggle on or off — so it too stays out of the plan-cache key.
+func WithDeltaEval(enabled bool) Option {
+	return func(s *settings) { s.deltaEval = enabled }
 }

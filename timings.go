@@ -14,11 +14,15 @@ import (
 // parallel pool, attributes busy time per worker (index = worker id, 0 the
 // dispatching goroutine).
 type SpanTiming struct {
-	Name     string        `json:"name"`
-	Count    int64         `json:"count,omitempty"`
-	WallMS   float64       `json:"wall_ms"`
-	CPUMS    float64       `json:"cpu_ms,omitempty"`
-	WorkerMS []float64     `json:"worker_ms,omitempty"`
+	Name     string    `json:"name"`
+	Count    int64     `json:"count,omitempty"`
+	WallMS   float64   `json:"wall_ms"`
+	CPUMS    float64   `json:"cpu_ms,omitempty"`
+	WorkerMS []float64 `json:"worker_ms,omitempty"`
+	// Notes carries the span's free-form annotations — parallelism clamps,
+	// delta-eval hit rates, adaptive-granularity decisions — in insertion
+	// order.
+	Notes    []string      `json:"notes,omitempty"`
 	Children []*SpanTiming `json:"children,omitempty"`
 }
 
@@ -60,6 +64,7 @@ func spanTiming(n *obs.Node) *SpanTiming {
 	for _, d := range n.Workers {
 		out.WorkerMS = append(out.WorkerMS, durMS(d))
 	}
+	out.Notes = append(out.Notes, n.Notes...)
 	for _, c := range n.Children {
 		out.Children = append(out.Children, spanTiming(c))
 	}
