@@ -2,8 +2,6 @@ package qplacer
 
 import (
 	"context"
-	"encoding/json"
-	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -88,14 +86,7 @@ func TestGoldenCorpusToggles(t *testing.T) {
 	}
 	for _, o := range goldenCombos() {
 		path := filepath.Join("testdata", "golden", goldenName(o)+".json")
-		data, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatalf("%v (regenerate with: go test -run TestGoldenCorpus -update .)", err)
-		}
-		var want goldenFixture
-		if err := json.Unmarshal(data, &want); err != nil {
-			t.Fatalf("corrupt fixture %s: %v", path, err)
-		}
+		want := loadFixture(t, path)
 		for _, v := range variants {
 			t.Run(goldenName(o)+"/"+v.name, func(t *testing.T) {
 				got := buildFixture(t, o, v.extra...)

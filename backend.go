@@ -27,6 +27,9 @@ const (
 	StagePlace Stage = "place"
 	// StageLegalize is legalization.
 	StageLegalize Stage = "legalize"
+	// StageDetail is detailed placement: the post-legalization refinement
+	// stage (see DetailedPlacer).
+	StageDetail Stage = "detail"
 )
 
 // Progress is one streaming progress event emitted by a backend while it

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"qplacer/internal/anneal"
+	"qplacer/internal/detail"
 	"qplacer/internal/geom"
 	"qplacer/internal/legal"
 	"qplacer/internal/obs"
@@ -12,10 +13,13 @@ import (
 )
 
 // This file adapts the internal pipeline implementations to the public
-// Placer/Legalizer interfaces and registers them as the built-in backends:
-// the Nesterov electrostatic placer ("nesterov", the default), the
-// simulated-annealing placer ("anneal"), the integration-aware legalizer
-// ("shelf", the default), and the greedy row-scan legalizer ("greedy").
+// Placer/Legalizer/DetailedPlacer interfaces and registers them as the
+// built-in backends: the Nesterov electrostatic placer ("nesterov", the
+// default), the simulated-annealing placer ("anneal"), the integration-aware
+// legalizer ("shelf", the default), the greedy row-scan legalizer
+// ("greedy"), and the detailed placers — the identity stage ("none", the
+// default), the min-cost-flow reassignment pass ("mcmf"), and the
+// frequency-aware local-swap hill climb ("swap").
 
 // nesterovPlacer is the frequency-aware electrostatic engine of §IV-C,
 // refactored behind the Placer interface.
@@ -162,12 +166,79 @@ func (greedyLegalizer) Legalize(ctx context.Context, st *StageState, region geom
 	}, nil
 }
 
+// noneDetailed is the identity detailed placer: it refines nothing, so the
+// pipeline behaves exactly as it did before the stage existed. The engine
+// fast-paths it without invoking Refine, keeping the default path free of
+// even a span node; the implementation here serves direct callers.
+type noneDetailed struct{}
+
+func (noneDetailed) Name() string { return DefaultDetailedPlacerName }
+
+func (noneDetailed) Refine(_ context.Context, st *StageState, _ geom.Rect, _ Observer) (*DetailOutcome, error) {
+	w := place.HPWL(st.Netlist)
+	return &DetailOutcome{HPWLBefore: w, HPWLAfter: w}, nil
+}
+
+// detailConfig assembles the shared detail.Config from the stage state,
+// mirroring how the placer/legalizer adapters thread spans, parallelism, and
+// adaptive granularity.
+func detailConfig(ctx context.Context, st *StageState, backend string, observer Observer) detail.Config {
+	cfg := detail.Config{
+		Span:      obs.SpanFrom(ctx),
+		Workers:   st.Parallelism,
+		Collision: st.Collision,
+		Seed:      st.Options.Seed,
+	}
+	if !st.AdaptiveGranularity {
+		cfg.Cutoffs = &parallel.Cutoffs{}
+	}
+	cfg.Progress = func(step int, hpwl float64) {
+		observer.OnProgress(Progress{
+			Stage: StageDetail, Backend: backend,
+			Iteration: step, Objective: hpwl,
+		})
+	}
+	return cfg
+}
+
+// mcmfDetailed is the independent-set + min-cost-flow reassignment pass of
+// internal/detail, deterministic and bit-identical at every worker count.
+type mcmfDetailed struct{}
+
+func (mcmfDetailed) Name() string { return "mcmf" }
+
+func (mcmfDetailed) Refine(ctx context.Context, st *StageState, _ geom.Rect, observer Observer) (*DetailOutcome, error) {
+	res, err := detail.MCMF(ctx, st.Netlist, detailConfig(ctx, st, "mcmf", observer))
+	if err != nil {
+		return nil, err
+	}
+	return &DetailOutcome{Moved: res.Moved, HPWLBefore: res.HPWLBefore, HPWLAfter: res.HPWLAfter}, nil
+}
+
+// swapDetailed is the seeded frequency-aware local-swap hill climb of
+// internal/detail. Inherently sequential; it ignores StageState.Parallelism,
+// which is legal — parallelism never changes results.
+type swapDetailed struct{}
+
+func (swapDetailed) Name() string { return "swap" }
+
+func (swapDetailed) Refine(ctx context.Context, st *StageState, _ geom.Rect, observer Observer) (*DetailOutcome, error) {
+	res, err := detail.Swap(ctx, st.Netlist, detailConfig(ctx, st, "swap", observer))
+	if err != nil {
+		return nil, err
+	}
+	return &DetailOutcome{Moved: res.Moved, HPWLBefore: res.HPWLBefore, HPWLAfter: res.HPWLAfter}, nil
+}
+
 func init() {
 	for _, err := range []error{
 		RegisterPlacer(nesterovPlacer{}),
 		RegisterPlacer(annealPlacer{}),
 		RegisterLegalizer(shelfLegalizer{}),
 		RegisterLegalizer(greedyLegalizer{}),
+		RegisterDetailedPlacer(noneDetailed{}),
+		RegisterDetailedPlacer(mcmfDetailed{}),
+		RegisterDetailedPlacer(swapDetailed{}),
 	} {
 		if err != nil {
 			panic(err)

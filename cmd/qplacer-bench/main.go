@@ -2,7 +2,8 @@
 // backends, and worker counts, and emits a machine-readable benchmark
 // document — the repo's performance trajectory (BENCH_5.json and successors).
 //
-// For every (topology, placer, legalizer) group it runs the pipeline once
+// For every (topology, placer, legalizer, detailed) group it runs the
+// pipeline once
 // per worker count on a fresh engine, records the warm per-iteration cost of
 // global placement (ns/iter over a fixed iteration budget, best of -runs),
 // and derives each entry's speedup against the group's serial (workers=1)
@@ -79,12 +80,15 @@ type SuiteRef struct {
 	SpecHash string `json:"spec_hash"`
 }
 
-// Entry is one (topology, placer, legalizer, workers) measurement.
+// Entry is one (topology, placer, legalizer, detailed, workers) measurement.
 type Entry struct {
 	Topology  string `json:"topology"`
 	Placer    string `json:"placer"`
 	Legalizer string `json:"legalizer"`
-	Workers   int    `json:"workers"`
+	// Detailed names the detailed-placement backend; empty in documents
+	// predating the stage, which is equivalent to "none".
+	Detailed string `json:"detailed,omitempty"`
+	Workers  int    `json:"workers"`
 
 	Iterations int     `json:"iterations"`
 	NsPerIter  int64   `json:"ns_per_iter"` // best measured run
@@ -94,6 +98,12 @@ type Entry struct {
 	HPWLmm    float64 `json:"hpwl_mm"`
 	Overflow  float64 `json:"overflow"`
 	PhPercent float64 `json:"ph_percent"`
+
+	// DetailMoved / DetailHPWLmm record the detailed stage's work when one
+	// ran: instances moved and the post-refinement HPWL (HPWLmm already
+	// reflects it; the column makes the recovered wirelength auditable).
+	DetailMoved  int     `json:"detail_moved,omitempty"`
+	DetailHPWLmm float64 `json:"detail_hpwl_mm,omitempty"`
 
 	// SpeedupVsSerial is serial ns/iter divided by this entry's ns/iter
 	// (1.0 for the serial entry itself). ParityVsSerial records that HPWL,
@@ -113,6 +123,7 @@ func main() {
 		topologies = flag.String("topologies", "grid,falcon,eagle", "comma-separated topologies to sweep")
 		placers    = flag.String("placers", "nesterov", "comma-separated placement backends")
 		legalizers = flag.String("legalizers", "shelf", "comma-separated legalization backends")
+		detaileds  = flag.String("detailed", "none", "comma-separated detailed-placement backends")
 		workers    = flag.String("workers", "1,2,4", "comma-separated worker counts (1 is added if missing: it is the speedup baseline)")
 		iters      = flag.Int("iters", 100, "global-placement iteration budget per run")
 		runs       = flag.Int("runs", 2, "measured runs per entry; the best is kept")
@@ -215,23 +226,25 @@ func main() {
 	for _, topo := range splitList(*topologies) {
 		for _, placer := range splitList(*placers) {
 			for _, legalizer := range splitList(*legalizers) {
-				var serial *Entry
-				for _, w := range workerList {
-					e, err := measure(ctx, topo, placer, legalizer, w, *iters, *runs, *warmup, !*noTimings, extra)
-					if err != nil {
-						log.Fatal(err)
+				for _, detailed := range splitList(*detaileds) {
+					var serial *Entry
+					for _, w := range workerList {
+						e, err := measure(ctx, topo, placer, legalizer, detailed, w, *iters, *runs, *warmup, !*noTimings, extra)
+						if err != nil {
+							log.Fatal(err)
+						}
+						if e.Workers == 1 { // sorted list: measured first
+							s := e
+							serial = &s
+						}
+						e.SpeedupVsSerial = float64(serial.NsPerIter) / float64(e.NsPerIter)
+						e.ParityVsSerial = e.HPWLmm == serial.HPWLmm &&
+							e.Overflow == serial.Overflow &&
+							e.PhPercent == serial.PhPercent
+						doc.Entries = append(doc.Entries, e)
+						log.Printf("%-7s %s/%s/%s workers=%d  %8.2f ms/place  %7d ns/iter  speedup %.2fx  parity %v",
+							topo, placer, legalizer, detailed, w, e.PlaceMS, e.NsPerIter, e.SpeedupVsSerial, e.ParityVsSerial)
 					}
-					if e.Workers == 1 { // sorted list: measured first
-						s := e
-						serial = &s
-					}
-					e.SpeedupVsSerial = float64(serial.NsPerIter) / float64(e.NsPerIter)
-					e.ParityVsSerial = e.HPWLmm == serial.HPWLmm &&
-						e.Overflow == serial.Overflow &&
-						e.PhPercent == serial.PhPercent
-					doc.Entries = append(doc.Entries, e)
-					log.Printf("%-7s %s/%s workers=%d  %8.2f ms/place  %7d ns/iter  speedup %.2fx  parity %v",
-						topo, placer, legalizer, w, e.PlaceMS, e.NsPerIter, e.SpeedupVsSerial, e.ParityVsSerial)
 				}
 			}
 		}
@@ -257,16 +270,18 @@ func main() {
 // columns are identical across runs; only the clock varies. With timings set,
 // one additional traced run captures the per-stage span breakdown after the
 // measured runs, so tracing overhead never touches the timing columns.
-func measure(ctx context.Context, topo, placer, legalizer string, workers, iters, runs, warmup int, timings bool, extra []qplacer.Option) (Entry, error) {
+func measure(ctx context.Context, topo, placer, legalizer, detailed string, workers, iters, runs, warmup int, timings bool, extra []qplacer.Option) (Entry, error) {
 	e := Entry{
 		Topology: topo, Placer: placer, Legalizer: legalizer,
-		Workers: workers,
+		Detailed: detailed,
+		Workers:  workers,
 	}
 	opts := qplacer.Options{
-		Topology:  topo,
-		MaxIters:  iters,
-		Placer:    placer,
-		Legalizer: legalizer,
+		Topology:       topo,
+		MaxIters:       iters,
+		Placer:         placer,
+		Legalizer:      legalizer,
+		DetailedPlacer: detailed,
 	}
 	engineOpts := append([]qplacer.Option{qplacer.WithParallelism(workers)}, extra...)
 	for r := 0; r < warmup+runs; r++ {
@@ -276,7 +291,7 @@ func measure(ctx context.Context, topo, placer, legalizer string, workers, iters
 		plan, err := qplacer.New(engineOpts...).
 			Plan(ctx, qplacer.WithOptions(opts))
 		if err != nil {
-			return e, fmt.Errorf("%s/%s/%s workers=%d: %w", topo, placer, legalizer, workers, err)
+			return e, fmt.Errorf("%s/%s/%s/%s workers=%d: %w", topo, placer, legalizer, detailed, workers, err)
 		}
 		if r < warmup {
 			continue
@@ -292,12 +307,14 @@ func measure(ctx context.Context, topo, placer, legalizer string, workers, iters
 		e.HPWLmm = place.HPWL(plan.Netlist)
 		e.Overflow = plan.PlaceOverflow
 		e.PhPercent = plan.Metrics.Ph
+		e.DetailMoved = plan.DetailMoved
+		e.DetailHPWLmm = plan.DetailHPWLAfter
 	}
 	if timings {
 		plan, err := qplacer.New(append(engineOpts, qplacer.WithTracing(true))...).
 			Plan(ctx, qplacer.WithOptions(opts))
 		if err != nil {
-			return e, fmt.Errorf("%s/%s/%s workers=%d traced run: %w", topo, placer, legalizer, workers, err)
+			return e, fmt.Errorf("%s/%s/%s/%s workers=%d traced run: %w", topo, placer, legalizer, detailed, workers, err)
 		}
 		e.Timings = plan.Timings
 	}
@@ -324,19 +341,19 @@ func checkDocument(path string, minSpeedup float64, requireWin bool) error {
 	if len(doc.Entries) == 0 {
 		return fmt.Errorf("%s: no benchmark entries", path)
 	}
-	type group struct{ topo, placer, legalizer string }
+	type group struct{ topo, placer, legalizer, detailed string }
 	best := map[group]float64{} // best workers>1 speedup per group
 	seen := map[group]bool{}
 	for _, e := range doc.Entries {
 		if !e.ParityVsSerial {
-			return fmt.Errorf("%s: %s/%s/%s workers=%d failed quality parity vs serial",
-				path, e.Topology, e.Placer, e.Legalizer, e.Workers)
+			return fmt.Errorf("%s: %s/%s/%s/%s workers=%d failed quality parity vs serial",
+				path, e.Topology, e.Placer, e.Legalizer, e.Detailed, e.Workers)
 		}
 		if e.NsPerIter <= 0 {
-			return fmt.Errorf("%s: %s/%s/%s workers=%d has non-positive ns_per_iter",
-				path, e.Topology, e.Placer, e.Legalizer, e.Workers)
+			return fmt.Errorf("%s: %s/%s/%s/%s workers=%d has non-positive ns_per_iter",
+				path, e.Topology, e.Placer, e.Legalizer, e.Detailed, e.Workers)
 		}
-		g := group{e.Topology, e.Placer, e.Legalizer}
+		g := group{e.Topology, e.Placer, e.Legalizer, e.Detailed}
 		seen[g] = true
 		if e.Workers > 1 && e.SpeedupVsSerial > best[g] {
 			best[g] = e.SpeedupVsSerial
@@ -360,12 +377,12 @@ func checkDocument(path string, minSpeedup float64, requireWin bool) error {
 			// A group without parallel entries proves nothing about the
 			// parallel path; a document of such groups must not pass the
 			// gate that exists to watch that path.
-			return fmt.Errorf("%s: %s/%s/%s has no workers>1 entries to check",
-				path, g.topo, g.placer, g.legalizer)
+			return fmt.Errorf("%s: %s/%s/%s/%s has no workers>1 entries to check",
+				path, g.topo, g.placer, g.legalizer, g.detailed)
 		}
 		if speedup < minSpeedup {
-			return fmt.Errorf("%s: %s/%s/%s best parallel speedup %.2fx below floor %.2fx",
-				path, g.topo, g.placer, g.legalizer, speedup, minSpeedup)
+			return fmt.Errorf("%s: %s/%s/%s/%s best parallel speedup %.2fx below floor %.2fx",
+				path, g.topo, g.placer, g.legalizer, g.detailed, speedup, minSpeedup)
 		}
 	}
 	return nil

@@ -47,6 +47,7 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit the run as the same JSON ResultDocument qplacerd serves")
 		placer   = flag.String("placer", "", "placement backend: "+strings.Join(qplacer.Placers(), "|")+" (default "+qplacer.DefaultPlacerName+")")
 		legalize = flag.String("legalizer", "", "legalization backend: "+strings.Join(qplacer.Legalizers(), "|")+" (default "+qplacer.DefaultLegalizerName+")")
+		detailed = flag.String("detailed", "", "detailed-placement backend: "+strings.Join(qplacer.DetailedPlacers(), "|")+" (default "+qplacer.DefaultDetailedPlacerName+")")
 		listBE   = flag.Bool("list-backends", false, "print registered placer/legalizer backends and exit")
 		listTopo = flag.Bool("list-topologies", false, "print every resolvable topology and the parametric family schemas, then exit")
 		suite    = flag.String("suite", "", "load a generated benchmark suite (see qplacer-gen) and register its topology and workloads")
@@ -64,6 +65,7 @@ func main() {
 	if *listBE {
 		fmt.Printf("placers:    %s\n", strings.Join(qplacer.Placers(), " "))
 		fmt.Printf("legalizers: %s\n", strings.Join(qplacer.Legalizers(), " "))
+		fmt.Printf("detailed:   %s\n", strings.Join(qplacer.DetailedPlacers(), " "))
 		return
 	}
 
@@ -100,6 +102,7 @@ func main() {
 		qplacer.WithParallelism(*par),
 		qplacer.WithPlacer(*placer),
 		qplacer.WithLegalizer(*legalize),
+		qplacer.WithDetailedPlacer(*detailed),
 	}
 	if *verify {
 		engOpts = append(engOpts, qplacer.WithValidation(qplacer.ValidationAnnotate))

@@ -68,6 +68,8 @@ func main() {
 			strings.Join(qplacer.Placers(), "|"))
 		legalize = flag.String("legalizer", "", "default legalization backend for requests that leave it unset: "+
 			strings.Join(qplacer.Legalizers(), "|"))
+		detailed = flag.String("detailed", "", "default detailed-placement backend for requests that leave it unset: "+
+			strings.Join(qplacer.DetailedPlacers(), "|"))
 		strict = flag.Bool("strict-validation", false,
 			"fail jobs whose placement carries error-severity violations (422 invalid_placement)")
 		parallelism = flag.Int("parallelism", 0,
@@ -103,6 +105,11 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *detailed != "" {
+		if _, err := qplacer.DetailedPlacerByName(*detailed); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	var store server.Store
 	if *dataDir != "" {
@@ -114,19 +121,20 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:          *workers,
-		EnginePool:       *engines,
-		QueueDepth:       *maxQueue,
-		JobTTL:           *ttl,
-		Store:            store,
-		LeaseTTL:         *lease,
-		MaxRetries:       *retries,
-		QuotaPerClient:   *quota,
-		DefaultPlacer:    *placer,
-		DefaultLegalizer: *legalize,
-		StrictValidation: *strict,
-		Parallelism:      *parallelism,
-		Logger:           logger,
+		Workers:               *workers,
+		EnginePool:            *engines,
+		QueueDepth:            *maxQueue,
+		JobTTL:                *ttl,
+		Store:                 store,
+		LeaseTTL:              *lease,
+		MaxRetries:            *retries,
+		QuotaPerClient:        *quota,
+		DefaultPlacer:         *placer,
+		DefaultLegalizer:      *legalize,
+		DefaultDetailedPlacer: *detailed,
+		StrictValidation:      *strict,
+		Parallelism:           *parallelism,
+		Logger:                logger,
 	})
 	if *dataDir != "" {
 		stats := srv.Manager().Stats()

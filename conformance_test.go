@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"testing"
+
+	"qplacer/internal/place"
 )
 
 // TestBackendConformance is the conformance bar every pipeline backend must
@@ -45,6 +47,81 @@ func TestBackendConformance(t *testing.T) {
 					}
 					t.Fatalf("%s+%s produced an invalid placement on %s: %d error violation(s)",
 						placer, legalizer, topo, rep.Errors)
+				})
+			}
+		}
+	}
+}
+
+// TestDetailedConformance extends the bar to the full triple: for every
+// registered placer × legalizer pair and every refining detailed placer, the
+// three-stage pipeline must (a) stay verifier-clean — refinement may not
+// introduce a single error-severity violation the two-stage run did not have
+// — and (b) never increase HPWL over the legalized layout it started from.
+// Both legs compare against a baseline run of the same options with the
+// identity stage, which is bit-deterministic, so the legalized HPWL the
+// refiner entered at is known exactly.
+func TestDetailedConformance(t *testing.T) {
+	placers, legalizers, detaileds := Placers(), Legalizers(), DetailedPlacers()
+	if len(detaileds) < 3 {
+		t.Fatalf("detailed registry too small: %v", detaileds)
+	}
+	for _, topo := range []string{"grid", "falcon"} {
+		for _, placer := range placers {
+			for _, legalizer := range legalizers {
+				topo, placer, legalizer := topo, placer, legalizer
+				t.Run(fmt.Sprintf("%s/%s+%s", topo, placer, legalizer), func(t *testing.T) {
+					t.Parallel()
+					ctx := context.Background()
+					base, err := New().Plan(ctx,
+						WithTopology(topo), WithPlacer(placer), WithLegalizer(legalizer),
+						WithDetailedPlacer(DefaultDetailedPlacerName), WithMaxIters(30))
+					if err != nil {
+						t.Fatalf("baseline pipeline failed: %v", err)
+					}
+					baseHPWL := place.HPWL(base.Netlist)
+					baseRep, err := Validate(base)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, detailed := range detaileds {
+						if detailed == DefaultDetailedPlacerName {
+							continue
+						}
+						detailed := detailed
+						t.Run(detailed, func(t *testing.T) {
+							plan, err := New().Plan(ctx,
+								WithTopology(topo), WithPlacer(placer), WithLegalizer(legalizer),
+								WithDetailedPlacer(detailed), WithMaxIters(30))
+							if err != nil {
+								t.Fatalf("pipeline failed: %v", err)
+							}
+							got := place.HPWL(plan.Netlist)
+							if got > baseHPWL {
+								t.Errorf("HPWL increased: %.9g after %s, %.9g legalized", got, detailed, baseHPWL)
+							}
+							if plan.DetailHPWLBefore != baseHPWL {
+								t.Errorf("detail stage entered at HPWL %.9g, want the legalized %.9g",
+									plan.DetailHPWLBefore, baseHPWL)
+							}
+							if plan.DetailHPWLAfter != got {
+								t.Errorf("DetailHPWLAfter = %.9g, want the layout's %.9g", plan.DetailHPWLAfter, got)
+							}
+							rep, err := Validate(plan)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if rep.Errors > baseRep.Errors {
+								for _, v := range rep.Violations {
+									if v.Severity == SeverityError {
+										t.Errorf("%s: %s", v.Code, v.Detail)
+									}
+								}
+								t.Fatalf("%s introduced error violations: %d, baseline had %d",
+									detailed, rep.Errors, baseRep.Errors)
+							}
+						})
+					}
 				})
 			}
 		}

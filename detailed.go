@@ -1,0 +1,93 @@
+package qplacer
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"qplacer/internal/geom"
+)
+
+// This file defines the third pluggable pipeline stage: detailed placement.
+// After legalization produces an overlap-free layout, a DetailedPlacer
+// refines it in place — qGDP-style (arxiv 2411.02447): reassignment and
+// local-swap moves over the discrete site set the legalizer claimed — under
+// a strict improvement contract. The registry mirrors the Placer/Legalizer
+// design so detailed placers are addressable by name from Options, both
+// CLIs, and the service's JSON requests.
+
+// DetailOutcome reports a finished detailed-placement pass.
+type DetailOutcome struct {
+	// Moved is how many instances ended at a different position than
+	// legalization left them.
+	Moved int
+	// HPWLBefore and HPWLAfter are the layout's half-perimeter wirelength
+	// (mm, summed over the netlist's two-pin nets) entering and leaving the
+	// stage. Conforming backends never report HPWLAfter > HPWLBefore.
+	HPWLBefore float64
+	HPWLAfter  float64
+}
+
+// DetailedPlacer is a detailed-placement backend: it refines the legalized
+// layout in st.Netlist near region, with the same Observer and ctx contract
+// as Placer and Legalizer. Conforming implementations must keep the layout
+// Validate-clean (no new error-severity violations) and must never increase
+// its HPWL — the conformance suite holds every registered backend to both.
+type DetailedPlacer interface {
+	// Name is the registry key ("none", "mcmf", "swap", ...).
+	Name() string
+	Refine(ctx context.Context, st *StageState, region geom.Rect, obs Observer) (*DetailOutcome, error)
+}
+
+// DefaultDetailedPlacerName is the backend a zero Options value resolves to:
+// the identity stage, i.e. the pipeline exactly as it behaved before
+// detailed placement existed. On the wire "" and "none" are interchangeable.
+const DefaultDetailedPlacerName = "none"
+
+var detailedReg = map[string]DetailedPlacer{}
+
+// RegisterDetailedPlacer makes a detailed-placement backend available to
+// every engine under d.Name(), exactly like the built-in "none", "mcmf", and
+// "swap" backends. Registering a nil backend, an empty name, or a taken name
+// fails (duplicates wrap ErrDuplicateDetailedPlacer).
+func RegisterDetailedPlacer(d DetailedPlacer) error {
+	if d == nil {
+		return fmt.Errorf("qplacer: register nil detailed placer")
+	}
+	if d.Name() == "" {
+		return fmt.Errorf("qplacer: register detailed placer with empty name")
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, ok := detailedReg[d.Name()]; ok {
+		return fmt.Errorf("%w %q", ErrDuplicateDetailedPlacer, d.Name())
+	}
+	detailedReg[d.Name()] = d
+	return nil
+}
+
+// DetailedPlacers returns every registered detailed-placer name, sorted —
+// built-ins plus RegisterDetailedPlacer additions.
+func DetailedPlacers() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	out := make([]string, 0, len(detailedReg))
+	for name := range detailedReg {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DetailedPlacerByName returns the registered detailed-placement backend.
+// The error wraps ErrUnknownDetailedPlacer when no backend is registered
+// under the name.
+func DetailedPlacerByName(name string) (DetailedPlacer, error) {
+	backendMu.RLock()
+	d, ok := detailedReg[name]
+	backendMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownDetailedPlacer, name)
+	}
+	return d, nil
+}

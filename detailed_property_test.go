@@ -1,0 +1,104 @@
+package qplacer
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"qplacer/internal/place"
+	"qplacer/internal/testutil"
+)
+
+// TestSwapPropertyRandomSuites is the randomized property wall for the swap
+// refiner: thirty generated topologies — alternating regular grids and
+// random-degree graphs across seeds — each run through the full three-stage
+// pipeline twice on independent engines, plus once with the identity stage.
+// Per suite the test demands:
+//
+//   - determinism per seed: both swap runs land every instance on identical
+//     bits (the reproducibility contract the golden corpus pins for the
+//     built-in topologies, here extended across the generator's whole space);
+//   - HPWL monotonicity: the refined layout is never longer than the
+//     identity-stage baseline it started from;
+//   - no new violations: refinement introduces no error-severity violation
+//     the baseline did not already have.
+func TestSwapPropertyRandomSuites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized suite sweep skipped in -short mode")
+	}
+	const suites = 30
+	for i := 0; i < suites; i++ {
+		i := i
+		t.Run(fmt.Sprintf("suite%02d", i), func(t *testing.T) {
+			t.Parallel()
+			spec := SuiteSpec{
+				Name:      testutil.UniqueName(t),
+				Seed:      int64(1000 + 37*i),
+				Workloads: false,
+			}
+			if i%2 == 0 {
+				spec.Family = SuiteFamilyGrid
+				spec.Qubits = []int{9, 16, 25}[(i/2)%3]
+			} else {
+				spec.Family = SuiteFamilyRandom
+				spec.Qubits = 8 + i%7
+			}
+			suite, err := GenerateBenchmark(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := suite.Register(); err != nil {
+				t.Fatal(err)
+			}
+
+			ctx := context.Background()
+			opts := Options{
+				Topology: spec.Name,
+				MaxIters: 12,
+				Seed:     int64(1 + i),
+			}
+			run := func(detailed string) *PlanResult {
+				o := opts
+				o.DetailedPlacer = detailed
+				plan, err := New().Plan(ctx, WithOptions(o))
+				if err != nil {
+					t.Fatalf("%s on %s: %v", detailed, spec.Name, err)
+				}
+				return plan
+			}
+
+			base := run(DefaultDetailedPlacerName)
+			p1, p2 := run("swap"), run("swap")
+
+			for j := range p1.Netlist.Instances {
+				if p1.Netlist.Instances[j].Pos != p2.Netlist.Instances[j].Pos {
+					t.Fatalf("swap not deterministic on %s: instance %d at %v vs %v",
+						spec.Name, j, p1.Netlist.Instances[j].Pos, p2.Netlist.Instances[j].Pos)
+				}
+			}
+
+			baseHPWL := place.HPWL(base.Netlist)
+			if got := place.HPWL(p1.Netlist); got > baseHPWL {
+				t.Errorf("swap increased HPWL on %s: %.9g, baseline %.9g", spec.Name, got, baseHPWL)
+			}
+
+			baseRep, err := Validate(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Validate(p1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Errors > baseRep.Errors {
+				for _, v := range rep.Violations {
+					if v.Severity == SeverityError {
+						t.Errorf("%s: %s", v.Code, v.Detail)
+					}
+				}
+				t.Fatalf("swap introduced error violations on %s: %d, baseline had %d",
+					spec.Name, rep.Errors, baseRep.Errors)
+			}
+		})
+	}
+}

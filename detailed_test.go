@@ -1,0 +1,234 @@
+package qplacer
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"qplacer/internal/geom"
+	"qplacer/internal/place"
+	"qplacer/internal/testutil"
+)
+
+func TestDetailedRegistryListBuiltins(t *testing.T) {
+	detaileds := DetailedPlacers()
+	for _, want := range []string{"none", "mcmf", "swap"} {
+		if !containsStr(detaileds, want) {
+			t.Fatalf("DetailedPlacers() = %v missing %q", detaileds, want)
+		}
+	}
+	for i := 1; i < len(detaileds); i++ {
+		if detaileds[i-1] >= detaileds[i] {
+			t.Fatalf("DetailedPlacers() not sorted: %v", detaileds)
+		}
+	}
+	if _, err := DetailedPlacerByName("warp-drive"); !errors.Is(err, ErrUnknownDetailedPlacer) {
+		t.Fatalf("DetailedPlacerByName err = %v, want ErrUnknownDetailedPlacer", err)
+	}
+}
+
+// stubDetailed is an honest identity refiner: it moves nothing and reports
+// the entry HPWL on both sides, so registering it cannot break the
+// conformance or monotonicity walls that sweep the registry.
+type stubDetailed struct{ name string }
+
+func (s stubDetailed) Name() string { return s.name }
+
+func (s stubDetailed) Refine(_ context.Context, st *StageState, _ geom.Rect, obs Observer) (*DetailOutcome, error) {
+	w := place.HPWL(st.Netlist)
+	obs.OnProgress(Progress{Stage: StageDetail, Backend: s.name, Iteration: 1, Objective: w})
+	return &DetailOutcome{HPWLBefore: w, HPWLAfter: w}, nil
+}
+
+func TestRegisterDetailedPlacerDuplicateAndValidation(t *testing.T) {
+	name := testutil.UniqueName(t)
+	d := stubDetailed{name: name}
+	if err := RegisterDetailedPlacer(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterDetailedPlacer(d); !errors.Is(err, ErrDuplicateDetailedPlacer) {
+		t.Fatalf("duplicate detailed placer err = %v, want ErrDuplicateDetailedPlacer", err)
+	}
+	if err := RegisterDetailedPlacer(stubDetailed{}); err == nil {
+		t.Fatal("empty detailed placer name must be rejected")
+	}
+	if err := RegisterDetailedPlacer(nil); err == nil {
+		t.Fatal("nil detailed placer must be rejected")
+	}
+
+	// The registered backend is selectable by name, actually runs, and its
+	// outcome lands on the plan.
+	var sawDetail bool
+	eng := New(WithObserver(ObserverFunc(func(p Progress) {
+		if p.Stage == StageDetail && p.Backend == name {
+			sawDetail = true
+		}
+	})))
+	plan, err := eng.Plan(context.Background(),
+		WithTopology("grid"), WithDetailedPlacer(name), WithMaxIters(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Options.DetailedPlacer != name {
+		t.Fatalf("custom detailed placer not recorded: %+v", plan.Options)
+	}
+	if !sawDetail {
+		t.Fatal("custom detailed placer emitted no StageDetail progress")
+	}
+	if plan.DetailHPWLBefore != plan.DetailHPWLAfter || plan.DetailHPWLBefore <= 0 {
+		t.Fatalf("identity stub outcome drifted: before %v, after %v",
+			plan.DetailHPWLBefore, plan.DetailHPWLAfter)
+	}
+}
+
+func TestOptionsNormalizedDetailedPlacer(t *testing.T) {
+	norm, err := Options{}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.DetailedPlacer != DefaultDetailedPlacerName {
+		t.Fatalf("zero options resolve to %q, want %q", norm.DetailedPlacer, DefaultDetailedPlacerName)
+	}
+	if _, err := (Options{DetailedPlacer: "warp-drive"}).Normalized(); !errors.Is(err, ErrUnknownDetailedPlacer) {
+		t.Fatalf("unknown detailed placer err = %v, want ErrUnknownDetailedPlacer", err)
+	}
+	// Normalization is idempotent over the detailed field.
+	again, err := norm.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != norm {
+		t.Fatalf("normalization not idempotent: %+v vs %+v", again, norm)
+	}
+}
+
+func TestOptionsDetailedJSONRoundTrip(t *testing.T) {
+	// The empty field stays off the wire — pre-stage payload bytes survive.
+	data, err := json.Marshal(Options{Topology: "grid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "detailed_placer") {
+		t.Fatalf("empty detailed placer must be omitted: %s", data)
+	}
+
+	in := Options{Topology: "grid", DetailedPlacer: "mcmf"}
+	data, err = json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Options
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != in {
+		t.Fatalf("round-trip %+v -> %+v", in, back)
+	}
+
+	// Unknown names pass decoding (plain strings) and are rejected at
+	// Normalized with the typed sentinel — the server's 400 mapping.
+	var bogus Options
+	if err := json.Unmarshal([]byte(`{"topology":"grid","detailed_placer":"fictional"}`), &bogus); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bogus.Normalized(); !errors.Is(err, ErrUnknownDetailedPlacer) {
+		t.Fatalf("err = %v, want ErrUnknownDetailedPlacer", err)
+	}
+}
+
+func TestPlanCacheKeyedByDetailedPlacer(t *testing.T) {
+	ctx := context.Background()
+	eng := New(WithTopology("grid"), WithMaxIters(10))
+
+	none, err := eng.Plan(ctx, WithDetailedPlacer("none"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcmf, err := eng.Plan(ctx, WithDetailedPlacer("mcmf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	swap, err := eng.Plan(ctx, WithDetailedPlacer("swap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none == mcmf || none == swap || mcmf == swap {
+		t.Fatal("distinct detailed backends shared a cache entry")
+	}
+	// "" normalizes to "none": both spellings must hit one entry.
+	blank, err := eng.Plan(ctx, WithDetailedPlacer(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if blank != none {
+		t.Fatal(`detailed placer "" and "none" did not share a cache entry`)
+	}
+	// Each refining backend's own warm hit still works.
+	again, err := eng.Plan(ctx, WithDetailedPlacer("mcmf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != mcmf {
+		t.Fatal("mcmf plan not cached")
+	}
+}
+
+// TestDetailedCancelMidRun drives both refining backends with an observer
+// that cancels the context on their first StageDetail event — the earliest
+// moment a caller could react to the stage — and requires the prompt typed
+// failure. Both passes emit progress at the top of every round/sweep and
+// check the context right after, so this is deterministic, not a race.
+func TestDetailedCancelMidRun(t *testing.T) {
+	for _, backend := range []string{"mcmf", "swap"} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			eng := New(WithObserver(ObserverFunc(func(p Progress) {
+				if p.Stage == StageDetail && p.Backend == backend {
+					cancel()
+				}
+			})))
+			_, err := eng.Plan(ctx, WithTopology("grid"),
+				WithDetailedPlacer(backend), WithMaxIters(10))
+			if !errors.Is(err, ErrCancelled) {
+				t.Fatalf("err = %v, want ErrCancelled", err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v must keep context.Canceled in the chain", err)
+			}
+		})
+	}
+}
+
+// TestDetailedOutcomeOnPlan pins the plan-level accounting of a refining
+// run: the recorded before/after HPWL bracket the actual layout, and the
+// layout's HPWL equals the reported after value exactly.
+func TestDetailedOutcomeOnPlan(t *testing.T) {
+	ctx := context.Background()
+	for _, backend := range []string{"mcmf", "swap"} {
+		plan, err := New().Plan(ctx, WithTopology("grid"),
+			WithDetailedPlacer(backend), WithMaxIters(15))
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if plan.DetailHPWLBefore <= 0 {
+			t.Fatalf("%s: DetailHPWLBefore = %v", backend, plan.DetailHPWLBefore)
+		}
+		if plan.DetailHPWLAfter > plan.DetailHPWLBefore {
+			t.Fatalf("%s: HPWL increased %v -> %v", backend, plan.DetailHPWLBefore, plan.DetailHPWLAfter)
+		}
+		if got := place.HPWL(plan.Netlist); got != plan.DetailHPWLAfter {
+			t.Fatalf("%s: layout HPWL %v != reported after %v", backend, got, plan.DetailHPWLAfter)
+		}
+		if plan.DetailMoved < 0 {
+			t.Fatalf("%s: DetailMoved = %d", backend, plan.DetailMoved)
+		}
+		if plan.DetailMoved == 0 && plan.DetailHPWLAfter != plan.DetailHPWLBefore {
+			t.Fatalf("%s: HPWL changed with zero moves", backend)
+		}
+	}
+}

@@ -128,6 +128,13 @@ type PlanResult struct {
 	NumCells      int
 	Integrated    bool
 
+	// DetailMoved and DetailHPWLBefore/After report the detailed-placement
+	// stage (see DetailOutcome); all zero when the run used the default
+	// "none" backend, which the engine skips outright.
+	DetailMoved      int
+	DetailHPWLBefore float64
+	DetailHPWLAfter  float64
+
 	// Validation is the independent verifier's report, set when the plan ran
 	// under WithValidation (or by the caller via Validate); nil otherwise.
 	Validation *ValidationReport
@@ -300,6 +307,27 @@ func (e *Engine) planWith(ctx context.Context, opts Options, observer Observer, 
 				return nil, wrapCancel(err)
 			}
 			out.Integrated = lres.IntegratedAll
+
+			// Detailed placement refines the legalized layout. The default
+			// "none" backend is the identity, fast-pathed here so the
+			// pre-existing pipeline — results, span tree, progress stream —
+			// is reproduced without even a stage dispatch.
+			if norm.DetailedPlacer != DefaultDetailedPlacerName {
+				detailed, err := DetailedPlacerByName(norm.DetailedPlacer)
+				if err != nil {
+					return nil, err
+				}
+				detailSpan := root.ChildCPU("detail")
+				detailTimer := detailSpan.Start()
+				dres, err := detailed.Refine(obs.ContextWithSpan(ctx, detailSpan), state, pres.Region, observer)
+				detailTimer.End()
+				if err != nil {
+					return nil, wrapCancel(err)
+				}
+				out.DetailMoved = dres.Moved
+				out.DetailHPWLBefore = dres.HPWLBefore
+				out.DetailHPWLAfter = dres.HPWLAfter
+			}
 		}
 	}
 

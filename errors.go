@@ -31,10 +31,16 @@ var (
 	// ErrUnknownLegalizer reports a legalization-backend name with no
 	// registered implementation (see RegisterLegalizer).
 	ErrUnknownLegalizer = errors.New("qplacer: unknown legalizer backend")
+	// ErrUnknownDetailedPlacer reports a detailed-placement-backend name with
+	// no registered implementation (see RegisterDetailedPlacer).
+	ErrUnknownDetailedPlacer = errors.New("qplacer: unknown detailed placer backend")
 	// ErrDuplicatePlacer reports a placer registration under a taken name.
 	ErrDuplicatePlacer = errors.New("qplacer: duplicate placer backend")
 	// ErrDuplicateLegalizer reports a legalizer registration under a taken name.
 	ErrDuplicateLegalizer = errors.New("qplacer: duplicate legalizer backend")
+	// ErrDuplicateDetailedPlacer reports a detailed-placer registration under
+	// a taken name.
+	ErrDuplicateDetailedPlacer = errors.New("qplacer: duplicate detailed placer backend")
 	// ErrCancelled reports a run stopped by its context. The wrapped error
 	// also satisfies errors.Is against context.Canceled or
 	// context.DeadlineExceeded, whichever fired.

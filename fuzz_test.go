@@ -63,24 +63,26 @@ func FuzzParseScheme(f *testing.F) {
 // sentinel, and be idempotent on success — the contract the server's request
 // validation and the engine's cache keys both rely on.
 func FuzzValidateOptions(f *testing.F) {
-	f.Add("grid", "nesterov", "shelf", 0, int64(1), 0.3, 0.1, 10)
-	f.Add("", "", "", 0, int64(0), 0.0, 0.0, 0)
-	f.Add("eagle", "anneal", "greedy", 1, int64(99), 0.2, 0.08, -5)
-	f.Add("grid", "warp-drive", "shelf", 0, int64(1), 0.3, 0.1, 0)
-	f.Add("grid", "nesterov", "anneal", 2, int64(1), 0.3, 0.1, 0)
-	f.Add("grid", "nesterov", "shelf", 99, int64(1), -0.3, -0.1, 0)
-	f.Add("grid", "nesterov", "shelf", 0, int64(1), math.NaN(), 0.1, 0)
-	f.Add("grid", "nesterov", "shelf", 0, int64(1), 0.3, math.Inf(1), 0)
-	f.Fuzz(func(t *testing.T, topo, placer, legalizer string, scheme int, seed int64, lb, deltaC float64, maxIters int) {
+	f.Add("grid", "nesterov", "shelf", "", 0, int64(1), 0.3, 0.1, 10)
+	f.Add("", "", "", "", 0, int64(0), 0.0, 0.0, 0)
+	f.Add("eagle", "anneal", "greedy", "none", 1, int64(99), 0.2, 0.08, -5)
+	f.Add("grid", "warp-drive", "shelf", "", 0, int64(1), 0.3, 0.1, 0)
+	f.Add("grid", "nesterov", "anneal", "", 2, int64(1), 0.3, 0.1, 0)
+	f.Add("grid", "nesterov", "shelf", "mcmf", 99, int64(1), -0.3, -0.1, 0)
+	f.Add("grid", "nesterov", "shelf", "swap", 0, int64(1), math.NaN(), 0.1, 0)
+	f.Add("grid", "nesterov", "shelf", "warp-drive", 0, int64(1), 0.3, math.Inf(1), 0)
+	f.Add("grid", "nesterov", "shelf", "nesterov", 0, int64(1), 0.3, 0.1, 0)
+	f.Fuzz(func(t *testing.T, topo, placer, legalizer, detailed string, scheme int, seed int64, lb, deltaC float64, maxIters int) {
 		o := Options{
-			Topology:  topo,
-			Scheme:    Scheme(scheme),
-			LB:        lb,
-			DeltaC:    deltaC,
-			Seed:      seed,
-			MaxIters:  maxIters,
-			Placer:    placer,
-			Legalizer: legalizer,
+			Topology:       topo,
+			Scheme:         Scheme(scheme),
+			LB:             lb,
+			DeltaC:         deltaC,
+			Seed:           seed,
+			MaxIters:       maxIters,
+			Placer:         placer,
+			Legalizer:      legalizer,
+			DetailedPlacer: detailed,
 		}
 		norm, err := o.Normalized() // must never panic
 		if err != nil {
@@ -103,6 +105,10 @@ func FuzzValidateOptions(f *testing.F) {
 				if _, lookupErr := LegalizerByName(legalizer); lookupErr == nil {
 					t.Fatalf("registered legalizer %q rejected: %v", legalizer, err)
 				}
+			case errors.Is(err, ErrUnknownDetailedPlacer):
+				if _, lookupErr := DetailedPlacerByName(detailed); lookupErr == nil {
+					t.Fatalf("registered detailed placer %q rejected: %v", detailed, err)
+				}
 			default:
 				t.Fatalf("Normalized() error %v carries no known sentinel", err)
 			}
@@ -118,6 +124,9 @@ func FuzzValidateOptions(f *testing.F) {
 		}
 		if _, err := LegalizerByName(norm.Legalizer); err != nil {
 			t.Fatalf("normalized legalizer %q not resolvable: %v", norm.Legalizer, err)
+		}
+		if _, err := DetailedPlacerByName(norm.DetailedPlacer); err != nil {
+			t.Fatalf("normalized detailed placer %q not resolvable: %v", norm.DetailedPlacer, err)
 		}
 		again, err := norm.Normalized()
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -67,7 +68,10 @@ type goldenFixture struct {
 }
 
 // goldenCombos enumerates every topology × placer × legalizer combination in
-// the corpus: all 4 built-in backend pairs on both fast topologies.
+// the corpus: all 4 built-in backend pairs on both fast topologies. These
+// predate the detailed-placement stage and leave DetailedPlacer unset, which
+// normalizes to the identity stage — their fixtures must stay byte-identical
+// forever (see TestGoldenCorpusDetailedNone).
 func goldenCombos() []Options {
 	var out []Options
 	for _, topo := range []string{"grid", "falcon"} {
@@ -85,8 +89,72 @@ func goldenCombos() []Options {
 	return out
 }
 
+// goldenDetailedCombos pins the non-identity detailed placers on both fast
+// topologies (default placer/legalizer pair).
+func goldenDetailedCombos() []Options {
+	var out []Options
+	for _, topo := range []string{"grid", "falcon"} {
+		for _, detailed := range []string{"mcmf", "swap"} {
+			out = append(out, Options{
+				Topology:       topo,
+				Placer:         "nesterov",
+				Legalizer:      "shelf",
+				DetailedPlacer: detailed,
+				MaxIters:       goldenIters,
+			})
+		}
+	}
+	return out
+}
+
 func goldenName(o Options) string {
-	return fmt.Sprintf("%s_%s_%s", o.Topology, o.Placer, o.Legalizer)
+	name := fmt.Sprintf("%s_%s_%s", o.Topology, o.Placer, o.Legalizer)
+	if o.DetailedPlacer != "" && o.DetailedPlacer != DefaultDetailedPlacerName {
+		name += "_" + o.DetailedPlacer
+	}
+	return name
+}
+
+// loadFixture reads one corpus file and canonicalizes its options in memory:
+// fixtures written before the detailed-placement stage omit detailed_placer,
+// which is the disk form of the default identity stage. The files themselves
+// are never rewritten — byte-identity of the legacy corpus is itself under
+// test — only the in-memory comparison form is filled.
+func loadFixture(t *testing.T, path string) goldenFixture {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test -run TestGoldenCorpus -update .)", err)
+	}
+	var want goldenFixture
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("corrupt fixture %s: %v", path, err)
+	}
+	if want.Options.DetailedPlacer == "" {
+		want.Options.DetailedPlacer = DefaultDetailedPlacerName
+	}
+	return want
+}
+
+// writeFixture is the -update writer. It strips the default "none" back to
+// the empty string before encoding — the disk-canonical form omits the
+// default via omitempty — so regeneration leaves every pre-stage fixture
+// byte-identical to its checked-in form.
+func writeFixture(t *testing.T, path string, fix goldenFixture) {
+	t.Helper()
+	if fix.Options.DetailedPlacer == DefaultDetailedPlacerName {
+		fix.Options.DetailedPlacer = ""
+	}
+	data, err := json.MarshalIndent(fix, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // buildFixture runs the full deterministic pipeline for one combination and
@@ -208,7 +276,7 @@ func compareFixture(t *testing.T, want, got goldenFixture) {
 }
 
 func TestGoldenCorpus(t *testing.T) {
-	for _, o := range goldenCombos() {
+	for _, o := range append(goldenCombos(), goldenDetailedCombos()...) {
 		o := o
 		t.Run(goldenName(o), func(t *testing.T) {
 			t.Parallel()
@@ -216,26 +284,10 @@ func TestGoldenCorpus(t *testing.T) {
 			path := filepath.Join("testdata", "golden", goldenName(o)+".json")
 
 			if *updateGolden {
-				data, err := json.MarshalIndent(got, "", "  ")
-				if err != nil {
-					t.Fatal(err)
-				}
-				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-					t.Fatal(err)
-				}
-				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-					t.Fatal(err)
-				}
+				writeFixture(t, path, got)
 			}
 
-			data, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("%v (regenerate with: go test -run TestGoldenCorpus -update .)", err)
-			}
-			var want goldenFixture
-			if err := json.Unmarshal(data, &want); err != nil {
-				t.Fatalf("corrupt fixture %s: %v", path, err)
-			}
+			want := loadFixture(t, path)
 			compareFixture(t, want, got)
 			if t.Failed() {
 				t.Logf("backend output drifted from %s; if intentional, regenerate with -update", path)
@@ -250,31 +302,99 @@ func TestGoldenCorpus(t *testing.T) {
 	}
 }
 
-// TestGoldenCorpusParallel re-runs every corpus combination with the
-// parallel hot path enabled (a worker count chosen to exercise uneven
-// partitions) and holds it to the same serial-generated fixtures:
-// parallelism must be invisible in the output, byte for byte.
+// TestGoldenCorpusParallel re-runs every corpus combination — including the
+// detailed-placement entries — with the parallel hot path enabled (a worker
+// count chosen to exercise uneven partitions) and holds it to the same
+// serial-generated fixtures: parallelism must be invisible in the output,
+// byte for byte.
 func TestGoldenCorpusParallel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("parallel corpus re-run skipped in -short mode")
 	}
-	for _, o := range goldenCombos() {
+	for _, o := range append(goldenCombos(), goldenDetailedCombos()...) {
 		o := o
 		t.Run(goldenName(o), func(t *testing.T) {
 			t.Parallel()
 			got := buildFixture(t, o, WithParallelism(3))
 			path := filepath.Join("testdata", "golden", goldenName(o)+".json")
-			data, err := os.ReadFile(path)
-			if err != nil {
-				t.Fatalf("%v (regenerate with: go test -run TestGoldenCorpus -update .)", err)
-			}
-			var want goldenFixture
-			if err := json.Unmarshal(data, &want); err != nil {
-				t.Fatalf("corrupt fixture %s: %v", path, err)
-			}
+			want := loadFixture(t, path)
 			compareFixture(t, want, got)
 			if t.Failed() {
 				t.Logf("parallel run drifted from the serial fixture %s: the determinism contract is broken", path)
+			}
+		})
+	}
+}
+
+// TestGoldenCorpusDetailedParallel sweeps the detailed-placement corpus
+// entries across several worker counts (uneven partitions included): the
+// mcmf cost-matrix fill is owner-computes and the swap climb is sequential,
+// so every count must reproduce the serial fixture exactly.
+func TestGoldenCorpusDetailedParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel corpus re-run skipped in -short mode")
+	}
+	for _, o := range goldenDetailedCombos() {
+		for _, workers := range []int{2, 3, 5} {
+			o, workers := o, workers
+			t.Run(fmt.Sprintf("%s_w%d", goldenName(o), workers), func(t *testing.T) {
+				t.Parallel()
+				got := buildFixture(t, o, WithParallelism(workers))
+				path := filepath.Join("testdata", "golden", goldenName(o)+".json")
+				want := loadFixture(t, path)
+				compareFixture(t, want, got)
+				if t.Failed() {
+					t.Logf("workers=%d drifted from the serial fixture %s: the determinism contract is broken", workers, path)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenCorpusDetailedNone is the compatibility wall for the detailed
+// stage's default: every pre-stage fixture must (a) still omit the
+// detailed_placer key on disk, (b) be reproduced exactly by a run that asks
+// for "none" explicitly, and (c) produce byte-identical fixtures whether the
+// backend is requested as "" or "none" — proving the zero value and the
+// default name are the same pipeline.
+func TestGoldenCorpusDetailedNone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("detailed-none corpus re-run skipped in -short mode")
+	}
+	for _, o := range goldenCombos() {
+		o := o
+		t.Run(goldenName(o), func(t *testing.T) {
+			t.Parallel()
+			path := filepath.Join("testdata", "golden", goldenName(o)+".json")
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with: go test -run TestGoldenCorpus -update .)", err)
+			}
+			if strings.Contains(string(raw), "detailed_placer") {
+				t.Fatalf("%s names a detailed_placer: the pre-stage corpus must keep its exact bytes (disk form omits the default)", path)
+			}
+
+			explicit := o
+			explicit.DetailedPlacer = DefaultDetailedPlacerName
+			gotExplicit := buildFixture(t, explicit)
+			want := loadFixture(t, path)
+			compareFixture(t, want, gotExplicit)
+			if t.Failed() {
+				t.Fatalf("explicit detailed_placer=none drifted from %s: \"none\" is not the identity stage", path)
+			}
+
+			gotDefault := buildFixture(t, o)
+			a, err := json.MarshalIndent(gotExplicit, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.MarshalIndent(gotDefault, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(a) != string(b) {
+				t.Errorf("detailed_placer \"\" and %q produced different fixtures:\n%s\nvs\n%s",
+					DefaultDetailedPlacerName, b, a)
 			}
 		})
 	}

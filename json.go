@@ -128,19 +128,24 @@ type instanceJSON struct {
 }
 
 type planResultJSON struct {
-	Options         Options           `json:"options"`
-	Device          deviceJSON        `json:"device"`
-	Region          rectJSON          `json:"region"`
-	Metrics         *metricsJSON      `json:"metrics,omitempty"`
-	Placement       []instanceJSON    `json:"placement"`
-	PlaceIterations int               `json:"place_iterations"`
-	PlaceRuntimeMS  float64           `json:"place_runtime_ms"`
-	AvgIterMS       float64           `json:"avg_iter_ms"`
-	PlaceOverflow   float64           `json:"place_overflow"`
-	NumCells        int               `json:"num_cells"`
-	Integrated      bool              `json:"integrated"`
-	Validation      *ValidationReport `json:"validation,omitempty"`
-	Timings         *SpanTiming       `json:"timings,omitempty"`
+	Options         Options        `json:"options"`
+	Device          deviceJSON     `json:"device"`
+	Region          rectJSON       `json:"region"`
+	Metrics         *metricsJSON   `json:"metrics,omitempty"`
+	Placement       []instanceJSON `json:"placement"`
+	PlaceIterations int            `json:"place_iterations"`
+	PlaceRuntimeMS  float64        `json:"place_runtime_ms"`
+	AvgIterMS       float64        `json:"avg_iter_ms"`
+	PlaceOverflow   float64        `json:"place_overflow"`
+	NumCells        int            `json:"num_cells"`
+	Integrated      bool           `json:"integrated"`
+	// The detail fields are omitempty so runs on the default "none" stage
+	// keep the exact pre-stage wire bytes.
+	DetailMoved      int               `json:"detail_moved,omitempty"`
+	DetailHPWLBefore float64           `json:"detail_hpwl_before_mm,omitempty"`
+	DetailHPWLAfter  float64           `json:"detail_hpwl_after_mm,omitempty"`
+	Validation       *ValidationReport `json:"validation,omitempty"`
+	Timings          *SpanTiming       `json:"timings,omitempty"`
 }
 
 // MarshalJSON renders the full plan — options, device, placed instances,
@@ -149,17 +154,20 @@ type planResultJSON struct {
 // produced by the pipeline, not parsed back.
 func (p *PlanResult) MarshalJSON() ([]byte, error) {
 	out := planResultJSON{
-		Options:         p.Options,
-		Region:          toRectJSON(p.Region),
-		Placement:       []instanceJSON{},
-		PlaceIterations: p.PlaceIterations,
-		PlaceRuntimeMS:  float64(p.PlaceRuntime.Microseconds()) / 1e3,
-		AvgIterMS:       p.AvgIterMS,
-		PlaceOverflow:   p.PlaceOverflow,
-		NumCells:        p.NumCells,
-		Integrated:      p.Integrated,
-		Validation:      p.Validation,
-		Timings:         p.Timings,
+		Options:          p.Options,
+		Region:           toRectJSON(p.Region),
+		Placement:        []instanceJSON{},
+		PlaceIterations:  p.PlaceIterations,
+		PlaceRuntimeMS:   float64(p.PlaceRuntime.Microseconds()) / 1e3,
+		AvgIterMS:        p.AvgIterMS,
+		PlaceOverflow:    p.PlaceOverflow,
+		NumCells:         p.NumCells,
+		Integrated:       p.Integrated,
+		DetailMoved:      p.DetailMoved,
+		DetailHPWLBefore: p.DetailHPWLBefore,
+		DetailHPWLAfter:  p.DetailHPWLAfter,
+		Validation:       p.Validation,
+		Timings:          p.Timings,
 	}
 	if p.Device != nil {
 		out.Device = deviceJSON{

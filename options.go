@@ -74,6 +74,10 @@ type Options struct {
 	// Legalizer selects the legalization backend by registered name
 	// ("" resolves to DefaultLegalizerName; see Legalizers).
 	Legalizer string `json:"legalizer,omitempty"`
+	// DetailedPlacer selects the post-legalization refinement backend by
+	// registered name ("" resolves to DefaultDetailedPlacerName, the identity
+	// stage; see DetailedPlacers).
+	DetailedPlacer string `json:"detailed_placer,omitempty"`
 }
 
 // Normalized returns the canonical form of the options — defaults filled in,
@@ -125,6 +129,12 @@ func (o Options) normalized() (Options, error) {
 		o.Legalizer = DefaultLegalizerName
 	}
 	if _, err := LegalizerByName(o.Legalizer); err != nil {
+		return o, err
+	}
+	if o.DetailedPlacer == "" {
+		o.DetailedPlacer = DefaultDetailedPlacerName
+	}
+	if _, err := DetailedPlacerByName(o.DetailedPlacer); err != nil {
 		return o, err
 	}
 	return o, nil
@@ -205,6 +215,12 @@ func WithPlacer(name string) Option {
 // (see Legalizers; "" restores the default).
 func WithLegalizer(name string) Option {
 	return func(s *settings) { s.opts.Legalizer = name }
+}
+
+// WithDetailedPlacer selects the detailed-placement backend by registered
+// name (see DetailedPlacers; "" restores the default identity stage).
+func WithDetailedPlacer(name string) Option {
+	return func(s *settings) { s.opts.DetailedPlacer = name }
 }
 
 // WithObserver streams Progress events from the run's backends to obs. As an

@@ -53,6 +53,7 @@ func statusFor(err error) int {
 	case errors.Is(err, qplacer.ErrUnknownScheme),
 		errors.Is(err, qplacer.ErrUnknownPlacer),
 		errors.Is(err, qplacer.ErrUnknownLegalizer),
+		errors.Is(err, qplacer.ErrUnknownDetailedPlacer),
 		errors.Is(err, qplacer.ErrInvalidOptions),
 		errors.Is(err, qplacer.ErrNoBenchmarks),
 		errors.Is(err, ErrInvalidArgument):
@@ -83,6 +84,8 @@ func codeFor(err error) string {
 		return "unknown_placer"
 	case errors.Is(err, qplacer.ErrUnknownLegalizer):
 		return "unknown_legalizer"
+	case errors.Is(err, qplacer.ErrUnknownDetailedPlacer):
+		return "unknown_detailed_placer"
 	case errors.Is(err, qplacer.ErrInvalidOptions):
 		return "invalid_options"
 	case errors.Is(err, qplacer.ErrNoBenchmarks):
@@ -423,6 +426,12 @@ func (s *Server) handlePlacers(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleLegalizers(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{
 		"legalizers": qplacer.Legalizers(),
+	})
+}
+
+func (s *Server) handleDetailedPlacers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"detailed_placers": qplacer.DetailedPlacers(),
 	})
 }
 

@@ -85,11 +85,13 @@ type Config struct {
 	// Workers × Parallelism ≈ GOMAXPROCS keeps jobs from fighting for
 	// cores. Parallelism never changes results, only wall-clock.
 	Parallelism int
-	// DefaultPlacer and DefaultLegalizer fill requests that leave the
-	// backend unset, before normalization ("" keeps the package defaults,
-	// "nesterov"/"shelf"). Requests naming a backend explicitly win.
-	DefaultPlacer    string
-	DefaultLegalizer string
+	// DefaultPlacer, DefaultLegalizer, and DefaultDetailedPlacer fill
+	// requests that leave the backend unset, before normalization ("" keeps
+	// the package defaults, "nesterov"/"shelf"/"none"). Requests naming a
+	// backend explicitly win.
+	DefaultPlacer         string
+	DefaultLegalizer      string
+	DefaultDetailedPlacer string
 	// StrictValidation fails jobs whose placement carries error-severity
 	// violations (ErrInvalidPlacement → 422 at the result endpoint) instead
 	// of merely annotating the result document. Every job's result carries
@@ -342,6 +344,9 @@ func (m *Manager) normalize(req Request) (Request, error) {
 	}
 	if req.Options.Legalizer == "" {
 		req.Options.Legalizer = m.cfg.DefaultLegalizer
+	}
+	if req.Options.DetailedPlacer == "" {
+		req.Options.DetailedPlacer = m.cfg.DefaultDetailedPlacer
 	}
 	opts, err := req.Options.Normalized()
 	if err != nil {

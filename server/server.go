@@ -20,6 +20,7 @@ import (
 //	GET    /v1/benchmarks       registered benchmark circuits
 //	GET    /v1/placers          registered placement backends
 //	GET    /v1/legalizers       registered legalization backends
+//	GET    /v1/detailed-placers registered detailed-placement backends
 //	GET    /healthz             liveness + build info
 //	GET    /metrics             service counters (JSON, or Prometheus text via Accept)
 //
@@ -59,6 +60,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	s.mux.HandleFunc("GET /v1/placers", s.handlePlacers)
 	s.mux.HandleFunc("GET /v1/legalizers", s.handleLegalizers)
+	s.mux.HandleFunc("GET /v1/detailed-placers", s.handleDetailedPlacers)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s

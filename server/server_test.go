@@ -197,6 +197,7 @@ func TestSubmitValidation(t *testing.T) {
 		{"scheme as int", `{"topology":"grid","scheme":1}`, http.StatusBadRequest, "unknown_scheme"},
 		{"unknown placer", `{"topology":"grid","placer":"ouija"}`, http.StatusBadRequest, "unknown_placer"},
 		{"unknown legalizer", `{"topology":"grid","legalizer":"ouija"}`, http.StatusBadRequest, "unknown_legalizer"},
+		{"unknown detailed placer", `{"topology":"grid","detailed_placer":"ouija"}`, http.StatusBadRequest, "unknown_detailed_placer"},
 		{"malformed JSON", `{"topology":`, http.StatusBadRequest, "bad_request"},
 		{"malformed parametric name", `{"topology":"grid-0"}`, http.StatusNotFound, "unknown_topology"},
 		{"out-of-series xtree", `{"topology":"xtree-21"}`, http.StatusNotFound, "unknown_topology"},
@@ -453,6 +454,17 @@ func TestBackendRegistryEndpoints(t *testing.T) {
 	if !contains(legalizers.Legalizers, "shelf") || !contains(legalizers.Legalizers, "greedy") {
 		t.Fatalf("legalizers missing built-ins: %v", legalizers.Legalizers)
 	}
+	var detaileds struct {
+		DetailedPlacers []string `json:"detailed_placers"`
+	}
+	if code := call(t, http.MethodGet, ts.URL+"/v1/detailed-placers", "", &detaileds); code != http.StatusOK {
+		t.Fatalf("detailed-placers status %d", code)
+	}
+	for _, want := range []string{"none", "mcmf", "swap"} {
+		if !contains(detaileds.DetailedPlacers, want) {
+			t.Fatalf("detailed placers missing %q: %v", want, detaileds.DetailedPlacers)
+		}
+	}
 }
 
 // TestJobProgressVisibleMidRun submits the slow eagle job and asserts the
@@ -538,7 +550,7 @@ func TestBackendSelectionKeysResultCache(t *testing.T) {
 // defaults flow into requests that leave the backend unset, without
 // overriding explicit choices.
 func TestManagerDefaultBackends(t *testing.T) {
-	mgr := newMgr(t, server.Config{Workers: 1, DefaultLegalizer: "greedy"})
+	mgr := newMgr(t, server.Config{Workers: 1, DefaultLegalizer: "greedy", DefaultDetailedPlacer: "swap"})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
@@ -552,14 +564,21 @@ func TestManagerDefaultBackends(t *testing.T) {
 	if view.Request.Options.Legalizer != "greedy" {
 		t.Fatalf("manager default not applied: %+v", view.Request.Options)
 	}
+	if view.Request.Options.DetailedPlacer != "swap" {
+		t.Fatalf("manager detailed default not applied: %+v", view.Request.Options)
+	}
 	explicit := fastRequest(62)
 	explicit.Options.Legalizer = "shelf"
+	explicit.Options.DetailedPlacer = "none"
 	view2, _, err := mgr.Submit(explicit)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if view2.Request.Options.Legalizer != "shelf" {
 		t.Fatalf("explicit backend overridden: %+v", view2.Request.Options)
+	}
+	if view2.Request.Options.DetailedPlacer != "none" {
+		t.Fatalf("explicit detailed backend overridden: %+v", view2.Request.Options)
 	}
 }
 
